@@ -1,0 +1,385 @@
+// Package optassign's root-level benchmarks regenerate each of the paper's
+// tables and figures (one benchmark per artifact, per DESIGN.md §4) plus
+// the ablation studies of DESIGN.md §5. Run them with
+//
+//	go test -bench=. -benchmem
+//
+// The b.N loop re-runs the complete experiment; reported ns/op is the cost
+// of regenerating the artifact once.
+package optassign
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"optassign/internal/apps"
+	"optassign/internal/assign"
+	"optassign/internal/core"
+	"optassign/internal/evt"
+	"optassign/internal/exp"
+	"optassign/internal/netdps"
+	"optassign/internal/netgen"
+	"optassign/internal/t2"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintTable1(io.Discard, rows)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := exp.NewEnv(1)
+		rows, err := exp.Figure1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure1(io.Discard, rows)
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := exp.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure2(io.Discard, curves)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := exp.NewEnv(1)
+		r, err := exp.Figure3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure3(io.Discard, r)
+	}
+}
+
+func BenchmarkFigure45(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure45(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure45(io.Discard, r)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	env := exp.NewEnv(1) // sample collection is shared across iterations
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure6(io.Discard, r)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	env := exp.NewEnv(1)
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure7(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure7(io.Discard, r)
+	}
+}
+
+// BenchmarkFigure10 through BenchmarkFigure12 share the estimation study;
+// each regenerates its own projection.
+func BenchmarkFigure10(b *testing.B) {
+	env := exp.NewEnv(1)
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.EstimationStudy(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure10(io.Discard, cells)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	env := exp.NewEnv(1)
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.EstimationStudy(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure11(io.Discard, cells)
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	env := exp.NewEnv(1)
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.EstimationStudy(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure12(io.Discard, cells)
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := exp.NewEnv(1)
+		cells, err := exp.Figure14(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintFigure14(io.Discard, cells)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ------------------------------------
+
+// sampleForAblation draws one 2000-measurement IPFwd-L1 sample.
+func sampleForAblation(b *testing.B) []float64 {
+	b.Helper()
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rs, err := core.CollectSample(rng, tb.Machine.Topo, tb.TaskCount(), 2000, tb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Perfs(rs)
+}
+
+// BenchmarkAblationThreshold compares the three threshold rules on the same
+// sample: the fit-scored scan (default), the raw 5% cap, and the
+// mean-excess linearity scan.
+func BenchmarkAblationThreshold(b *testing.B) {
+	perfs := sampleForAblation(b)
+	for _, rule := range []struct {
+		name string
+		rule evt.ThresholdRule
+	}{
+		{"auto", evt.RuleAuto},
+		{"maxfraction", evt.RuleMaxFraction},
+		{"linearity", evt.RuleLinearityScan},
+	} {
+		b.Run(rule.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := evt.SelectThreshold(perfs, evt.ThresholdOptions{Rule: rule.rule}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEstimator compares maximum-likelihood and
+// method-of-moments GPD estimation.
+func BenchmarkAblationEstimator(b *testing.B) {
+	perfs := sampleForAblation(b)
+	thr, err := evt.SelectThreshold(perfs, evt.ThresholdOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.FitGPD(thr.Exceedances); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("moments", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.FitGPDMoments(thr.Exceedances); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pwm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.FitGPDPWM(thr.Exceedances); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConfidenceInterval compares the Wilks likelihood-ratio
+// interval construction against the parametric bootstrap (with both
+// refitting estimators).
+func BenchmarkAblationConfidenceInterval(b *testing.B) {
+	perfs := sampleForAblation(b)
+	thr, err := evt.SelectThreshold(perfs, evt.ThresholdOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit, err := evt.FitGPD(thr.Exceedances)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("wilks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.UPBConfidenceInterval(thr.U, thr.Exceedances, fit, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bootstrap-mle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.BootstrapUPB(thr.U, thr.Exceedances, fit, evt.BootstrapOptions{Replicates: 200, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bootstrap-pwm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.BootstrapUPB(thr.U, thr.Exceedances, fit, evt.BootstrapOptions{Replicates: 200, Seed: 1, Estimator: evt.FitGPDPWM}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionSchedulerStudy regenerates the schedulers-vs-optimum
+// comparison table.
+func BenchmarkExtensionSchedulerStudy(b *testing.B) {
+	env := exp.NewEnv(1)
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.SchedulerStudy(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintSchedulerStudy(io.Discard, cells)
+	}
+}
+
+// BenchmarkExtensionPredictorStudy regenerates the §5.4 integrated-approach
+// table.
+func BenchmarkExtensionPredictorStudy(b *testing.B) {
+	env := exp.NewEnv(1)
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.PredictorStudy(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.PrintPredictorStudy(io.Discard, cells)
+	}
+}
+
+// BenchmarkAblationEngine compares the analytic steady-state measurement
+// against the discrete-event engine on the same assignment.
+func BenchmarkAblationEngine(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	a, err := assign.RandomPermutation(rng, tb.Machine.Topo, tb.TaskCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tb.MeasureAnalytic(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("event-engine-2k-packets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tb.MeasureEngine(a, 2000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMeasurement is the hot path of the whole method: one random
+// assignment generated and measured.
+func BenchmarkMeasurement(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewStateful(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := assign.RandomPermutation(rng, tb.Machine.Topo, tb.TaskCount())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tb.MeasureAnalytic(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterative runs the full §5.3 algorithm at a 5% target.
+func BenchmarkIterative(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := core.IterConfig{
+			Topo: tb.Machine.Topo, Tasks: tb.TaskCount(),
+			AcceptLossPct: 5, Ninit: 1000, Ndelta: 100, MaxSamples: 12000, Seed: 1,
+		}
+		if _, err := core.Iterate(cfg, tb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssignmentGenerators compares the paper-faithful rejection
+// sampler with the Fisher-Yates generator at two machine loads.
+func BenchmarkAssignmentGenerators(b *testing.B) {
+	topo := t2.UltraSPARCT2()
+	for _, tasks := range []int{24, 60} {
+		rng := rand.New(rand.NewSource(4))
+		if tasks <= 32 {
+			b.Run(benchName("rejection", tasks), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := assign.Random(rng, topo, tasks); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(benchName("fisher-yates", tasks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.RandomPermutation(rng, topo, tasks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(kind string, tasks int) string {
+	return kind + "-" + string(rune('0'+tasks/10)) + string(rune('0'+tasks%10)) + "tasks"
+}
+
+// BenchmarkPacketGeneration measures the NTGen-substitute throughput.
+func BenchmarkPacketGeneration(b *testing.B) {
+	gen, err := netgen.NewGenerator(netgen.DefaultProfile(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		bytes += int64(len(gen.Next().Raw))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}

@@ -1,0 +1,59 @@
+// Command measured ("measure daemon") serves a testbed over TCP so that a
+// controller on another machine can run measurement campaigns against it —
+// the two-machine layout of the paper's industrial setup. Here it serves
+// the simulated UltraSPARC T2; on real hardware the same protocol would
+// front a thread-pinning measurement harness.
+//
+// Usage:
+//
+//	measured [-addr :9120] [-benchmark IPFwd-L1] [-instances 8] [-seed 1]
+//
+// Drive it with cmd/optassign -connect host:9120.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"optassign/internal/apps"
+	"optassign/internal/netdps"
+	"optassign/internal/netgen"
+	"optassign/internal/remote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("measured: ")
+
+	addr := flag.String("addr", ":9120", "listen address")
+	benchmark := flag.String("benchmark", "IPFwd-L1", "benchmark name (see cmd/optassign)")
+	instances := flag.Int("instances", 8, "pipeline instances")
+	seed := flag.Int64("seed", 1, "testbed seed")
+	flag.Parse()
+
+	app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, err := netdps.NewTestbed(app, *instances, netdps.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s (%d tasks on %s) at %s\n",
+		app.Name(), tb.TaskCount(), tb.Machine.Topo, l.Addr())
+	srv := &remote.Server{
+		Runner: tb,
+		Topo:   tb.Machine.Topo,
+		Tasks:  tb.TaskCount(),
+		Name:   app.Name(),
+	}
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Command ntgen is the traffic-generator front end (the NTGen role of the
+// paper's testbed): it synthesizes the configured packet stream and writes
+// it as a pcap capture for inspection with tcpdump/Wireshark, or prints a
+// summary of the stream.
+//
+// Usage:
+//
+//	ntgen [-n 1000] [-out traffic.pcap] [-rate 1e6] [-flows 4096]
+//	      [-zipf 1.2] [-minpay 64] [-maxpay 800] [-tcp 0.8] [-kwrate 0.1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"optassign/internal/netgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ntgen: ")
+
+	n := flag.Int("n", 1000, "packets to generate")
+	out := flag.String("out", "", "pcap output file (empty: summary only)")
+	rate := flag.Float64("rate", 1e6, "timestamp spacing in packets per second")
+	flows := flag.Int("flows", 4096, "distinct flows")
+	zipf := flag.Float64("zipf", 1.2, "Zipf skew over flows (0 disables)")
+	minPay := flag.Int("minpay", 64, "minimum payload bytes")
+	maxPay := flag.Int("maxpay", 800, "maximum payload bytes")
+	tcp := flag.Float64("tcp", 0.8, "fraction of TCP flows")
+	kwRate := flag.Float64("kwrate", 0.1, "keyword injection probability")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	profile := netgen.Profile{
+		Flows:       *flows,
+		ZipfS:       *zipf,
+		PayloadMin:  *minPay,
+		PayloadMax:  *maxPay,
+		TCPFraction: *tcp,
+		Keywords:    netgen.DoSKeywords(),
+		KeywordRate: *kwRate,
+	}
+	gen, err := netgen.NewGenerator(profile, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var writer *netgen.PcapWriter
+	var file *os.File
+	if *out != "" {
+		file, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writer, err = netgen.NewPcapWriter(file, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var bytes int
+	flowsSeen := map[netgen.FlowKey]int{}
+	protoCount := map[uint8]int{}
+	for i := 0; i < *n; i++ {
+		pkt := gen.Next()
+		bytes += len(pkt.Raw)
+		h, err := pkt.Decode()
+		if err != nil {
+			log.Fatalf("generated undecodable packet %d: %v", i, err)
+		}
+		flowsSeen[h.Key()]++
+		protoCount[h.Proto]++
+		if writer != nil {
+			if err := writer.WritePacket(pkt); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if file != nil {
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d packets to %s\n", writer.Packets(), *out)
+	}
+
+	fmt.Printf("packets: %d, bytes: %d (mean %.1f B)\n", *n, bytes, float64(bytes)/float64(*n))
+	fmt.Printf("distinct flows: %d of %d configured\n", len(flowsSeen), *flows)
+	fmt.Printf("TCP: %d, UDP: %d\n", protoCount[netgen.ProtoTCP], protoCount[netgen.ProtoUDP])
+	top, topCount := netgen.FlowKey{}, 0
+	for k, c := range flowsSeen {
+		if c > topCount {
+			top, topCount = k, c
+		}
+	}
+	fmt.Printf("hottest flow: %s:%d > %s:%d (%d packets, %.1f%%)\n",
+		netgen.IPString(top.SrcIP), top.SrcPort, netgen.IPString(top.DstIP), top.DstPort,
+		topCount, float64(topCount)/float64(*n)*100)
+}

@@ -1,0 +1,133 @@
+// Command optassign runs the paper's iterative statistical task-assignment
+// algorithm (§5.3) against the simulated UltraSPARC T2 testbed: it keeps
+// executing random assignments of the chosen benchmark until the best one
+// found is — with 0.95 confidence — within the acceptable loss of the
+// estimated optimal system performance.
+//
+// Usage:
+//
+//	optassign [-benchmark IPFwd-L1] [-instances 8] [-loss 2.5]
+//	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"optassign/internal/apps"
+	"optassign/internal/campaign"
+	"optassign/internal/core"
+	"optassign/internal/netdps"
+	"optassign/internal/netgen"
+	"optassign/internal/remote"
+	"optassign/internal/t2"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optassign: ")
+
+	benchmark := flag.String("benchmark", "IPFwd-L1",
+		"one of Aho-Corasick, IPFwd-L1, IPFwd-Mem, Packet-analyzer, Stateful, IPFwd-intadd, IPFwd-intmul")
+	instances := flag.Int("instances", 8, "pipeline instances (3 threads each)")
+	loss := flag.Float64("loss", 2.5, "acceptable performance loss vs the estimated optimum, percent")
+	ninit := flag.Int("ninit", 1000, "initial sample size")
+	ndelta := flag.Int("ndelta", 100, "sample increment per iteration")
+	maxSamples := flag.Int("max", 12000, "sample budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print every iteration")
+	record := flag.String("record", "", "write every measurement to this campaign file (JSON lines)")
+	connect := flag.String("connect", "", "measure on a remote testbed served by cmd/measured at this address")
+	flag.Parse()
+
+	var (
+		runner core.Runner
+		topo   t2.Topology
+		tasks  int
+		name   string
+	)
+	if *connect != "" {
+		client, err := remote.Dial(*connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		runner, topo, tasks, name = client, client.Topology(), client.Tasks(), client.Hello().Name
+		fmt.Printf("remote testbed %q at %s: %d tasks on %s\n", name, *connect, tasks, topo)
+	} else {
+		app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb, err := netdps.NewTestbed(app, *instances, netdps.WithSeed(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner, topo, tasks, name = tb, tb.Machine.Topo, tb.TaskCount(), app.Name()
+		fmt.Printf("benchmark %s: %d instances (%d tasks) on %s\n", name, *instances, tasks, topo)
+	}
+
+	cfg := core.IterConfig{
+		Topo:          topo,
+		Tasks:         tasks,
+		AcceptLossPct: *loss,
+		Ninit:         *ninit,
+		Ndelta:        *ndelta,
+		MaxSamples:    *maxSamples,
+		Seed:          *seed,
+	}
+	var recorded *campaign.Campaign
+	if *record != "" {
+		recorded = campaign.New(name, topo, *seed)
+		runner = campaign.Recorder{Campaign: recorded, Runner: runner}
+	}
+	res, err := core.Iterate(cfg, runner)
+	if err != nil && !errors.Is(err, core.ErrBudgetExhausted) {
+		log.Fatal(err)
+	}
+	if recorded != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := recorded.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d measurements to %s\n", recorded.Len(), *record)
+	}
+
+	if *verbose {
+		for _, step := range res.History {
+			fmt.Printf("  n=%5d  best=%.6g  estimate=%.6g  CI=[%.6g, %.6g]  loss<=%.2f%%\n",
+				step.Samples, step.Estimate.BestObserved, step.Estimate.Optimal,
+				step.Estimate.Lo, step.Estimate.Hi, step.Estimate.HeadroomHiPct)
+		}
+	}
+
+	fmt.Printf("executed %d random assignments\n", res.Samples)
+	fmt.Printf("best assignment: %s\n", res.Best.Assignment)
+	fmt.Printf("  measured performance:   %.6g PPS\n", res.Best.Perf)
+	fmt.Printf("  estimated optimum:      %.6g PPS (0.95 CI [%.6g, %.6g])\n",
+		res.Final.Optimal, res.Final.Lo, res.Final.Hi)
+	fmt.Printf("  guaranteed loss bound:  %.2f%%\n", res.Final.HeadroomHiPct)
+	if planner, err := core.NewPlanner(res.Final); err == nil {
+		if prob, err := planner.ProbImprove(1000); err == nil {
+			fmt.Printf("  P(1000 more samples improve the best): %.1f%%\n", prob*100)
+		}
+		if median, err := planner.MedianBestOfN(10 * res.Samples); err == nil {
+			fmt.Printf("  median best if the campaign were 10x longer: %.6g PPS\n", median)
+		}
+	}
+	if res.Satisfied {
+		fmt.Printf("requirement met: loss <= %.2f%% with 0.95 confidence\n", *loss)
+		return
+	}
+	fmt.Printf("sample budget exhausted before meeting the %.2f%% requirement\n", *loss)
+	os.Exit(2)
+}

@@ -1,0 +1,91 @@
+// Command t2sim inspects a single task assignment on the simulated
+// UltraSPARC T2 at all three fidelity levels: the analytic steady-state
+// solver, the discrete-event queue engine running the real benchmark code,
+// and the cycle-approximate strand simulator — plus the hardware-counter
+// profile showing which resources throttle the workload.
+//
+// Usage:
+//
+//	t2sim [-benchmark IPFwd-L1] [-instances 8] [-scheduler linux|naive|greedy] [-seed 1] [-packets 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"optassign/internal/apps"
+	"optassign/internal/assign"
+	"optassign/internal/netdps"
+	"optassign/internal/netgen"
+	"optassign/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t2sim: ")
+
+	benchmark := flag.String("benchmark", "IPFwd-L1", "benchmark name (see cmd/optassign)")
+	instances := flag.Int("instances", 8, "pipeline instances")
+	scheduler := flag.String("scheduler", "linux", "assignment policy: linux, naive, greedy")
+	seed := flag.Int64("seed", 1, "seed for the naive scheduler")
+	packets := flag.Int("packets", 2000, "packets per instance for the two simulators")
+	flag.Parse()
+
+	app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, err := netdps.NewTestbed(app, *instances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := tb.Machine.Topo
+
+	var a assign.Assignment
+	switch *scheduler {
+	case "linux":
+		a, err = sched.LinuxLike{}.Assign(topo, tb.TaskCount())
+	case "naive":
+		a, err = sched.Naive{Rng: rand.New(rand.NewSource(*seed))}.Assign(topo, tb.TaskCount())
+	case "greedy":
+		tasks, links := tb.Tasks()
+		a, err = sched.GreedyDemand{Machine: tb.Machine, Tasks: tasks, Links: links}.Assign()
+	default:
+		log.Fatalf("unknown scheduler %q", *scheduler)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s × %d instances, %s scheduler\n", app.Name(), *instances, *scheduler)
+	fmt.Printf("assignment: %s\n\n", a)
+
+	analytic, err := tb.MeasureAnalytic(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic steady state:   %11.6g PPS\n", analytic)
+
+	engine, err := tb.MeasureEngine(a, *packets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discrete-event engine:   %11.6g PPS (%d packets/instance, real benchmark code)\n",
+		engine.PPS, *packets)
+
+	cyc, err := tb.MeasureCycle(a, *packets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle-level simulator:   %11.6g PPS (%d cycles simulated)\n\n", cyc.TotalPPS, cyc.Cycles)
+
+	prof, err := tb.ProfileAssignment(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hottest shared resources (analytic operating point):")
+	prof.Dump(os.Stdout, 8)
+}

@@ -1,0 +1,62 @@
+// Evtdata shows the statistical core used stand-alone on external
+// measurements — the way you would apply the method to numbers collected on
+// a real machine (the paper's method needs nothing but the measured sample).
+//
+// We synthesize a "measurement campaign" whose true optimum we know
+// (a bounded population with a GPD tail), hide the optimum from the
+// estimator, and check how well the EVT machinery recovers it at several
+// sample sizes.
+//
+// Run with:
+//
+//	go run ./examples/evtdata
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"optassign/internal/evt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Ground truth: performance bounded at exactly 120000 ops/s with a
+	// GPD-shaped upper tail (shape −0.3). The estimator sees only samples.
+	const trueOptimum = 120000.0
+	tail := evt.GPD{Xi: -0.3, Sigma: 7000}
+	rng := rand.New(rand.NewSource(2024))
+	measure := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = trueOptimum - tail.Rand(rng)
+		}
+		return xs
+	}
+
+	fmt.Printf("true optimum (hidden from the estimator): %.6g ops/s\n\n", trueOptimum)
+	fmt.Printf("%8s %12s %12s %28s %10s\n", "samples", "best seen", "estimate", "0.95 interval", "est. err")
+
+	for _, n := range []int{500, 1000, 2000, 5000, 20000} {
+		sample := measure(n)
+		rep, err := evt.Analyze(sample, evt.POTOptions{})
+		if err != nil {
+			log.Fatalf("n=%d: %v", n, err)
+		}
+		hi := fmt.Sprintf("%.6g", rep.UPB.Hi)
+		if math.IsInf(rep.UPB.Hi, 1) {
+			hi = "unbounded"
+		}
+		fmt.Printf("%8d %12.6g %12.6g %28s %9.2f%%\n",
+			n, rep.BestObs, rep.UPB.Point,
+			fmt.Sprintf("[%.6g, %s]", rep.UPB.Lo, hi),
+			(rep.UPB.Point-trueOptimum)/trueOptimum*100)
+	}
+
+	fmt.Println("\nthe point estimate converges on the hidden optimum and the interval")
+	fmt.Println("tightens as the sample grows — no model of the system was needed.")
+	fmt.Println("use cmd/evtfit to run the same analysis on your own measurement files.")
+}

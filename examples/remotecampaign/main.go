@@ -1,0 +1,100 @@
+// Remotecampaign demonstrates the two-machine layout of the paper's
+// industrial testbed (§4): a measurement server fronts the machine that
+// executes assignments, and the statistical controller drives it over the
+// network. Here both ends live in one process on a loopback socket; point
+// the client at another host to split them for real (see cmd/measured).
+//
+// It also shows the §5.4 experimental-time arithmetic: every measurement
+// costs ~1.5 s of testbed time on real hardware, so the campaign length is
+// a budget decision — and the planner says what more budget would buy.
+//
+// Run with:
+//
+//	go run ./examples/remotecampaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"optassign/internal/apps"
+	"optassign/internal/core"
+	"optassign/internal/evt"
+	"optassign/internal/netdps"
+	"optassign/internal/remote"
+)
+
+// measurementSeconds is the paper's per-assignment testbed time: ~1.5 s to
+// process three million packets (§4.4).
+const measurementSeconds = 1.5
+
+func main() {
+	log.SetFlags(0)
+
+	// --- The "measurement machine": testbed behind a TCP server. --------
+	tb, err := netdps.NewTestbed(apps.NewStateful(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &remote.Server{Runner: tb, Topo: tb.Machine.Topo, Tasks: tb.TaskCount(), Name: tb.App.Name()}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	// --- The "controller machine": everything below uses only the wire. -
+	client, err := remote.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Printf("connected to remote testbed %q: %d tasks on %s\n",
+		client.Hello().Name, client.Tasks(), client.Topology())
+
+	const n = 2000
+	start := time.Now()
+	rng := rand.New(rand.NewSource(7))
+	results, err := core.CollectSample(rng, client.Topology(), client.Tasks(), n, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := core.EstimateOptimal(core.Perfs(results), evt.POTOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("campaign: %d remote measurements in %v (simulated testbed)\n", n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("on the real machine the same campaign costs ~%.0f minutes of testbed time\n",
+		float64(n)*measurementSeconds/60)
+	best := results[core.Best(results)]
+	fmt.Printf("best observed:      %.6g PPS\n", best.Perf)
+	fmt.Printf("estimated optimum:  %.6g PPS (0.95 CI [%.6g, %.6g])\n", est.Optimal, est.Lo, est.Hi)
+
+	if planner, err := core.NewPlanner(est); err == nil {
+		prob, err1 := planner.ProbImprove(2 * n)
+		median, err2 := planner.MedianBestOfN(3 * n)
+		if err1 == nil && err2 == nil {
+			// Extending the campaign keeps the current best, so the
+			// expected lift is the fresh median clamped from below.
+			gain := (median - best.Perf) / best.Perf * 100
+			if gain < 0 {
+				gain = 0
+			}
+			fmt.Printf("a 3x longer campaign (~%.0f more minutes): P(improve) = %.0f%%, median lift ≈ %.2f%% — ",
+				float64(2*n)*measurementSeconds/60, prob*100, gain)
+			if gain < 0.5 {
+				fmt.Println("not worth the testbed time.")
+			} else {
+				fmt.Println("possibly worth it.")
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Workloadselect demonstrates the §7 extension of the method: on a
+// processor with a single level of resource sharing, task *scheduling*
+// reduces to workload *selection* — choosing which set of ready tasks to
+// co-run — and the statistical approach applies unchanged: sample random
+// workloads, measure them, and estimate the optimal workload's performance
+// by EVT.
+//
+// We model one SMT core with eight hardware contexts (one sharing level), a
+// pool of twenty candidate tasks with heterogeneous resource demands, and
+// ask: how good is the best co-schedule of eight tasks, and how close do
+// random co-schedules get?
+//
+// Run with:
+//
+//	go run ./examples/workloadselect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"optassign/internal/evt"
+	"optassign/internal/proc"
+	"optassign/internal/t2"
+)
+
+// candidate is one ready-to-run task type in the pool.
+type candidate struct {
+	name   string
+	demand proc.Demand
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// One core, one pipeline, eight contexts: every co-running task shares
+	// everything — a single sharing level, so only *which* tasks co-run
+	// matters, not where they sit.
+	machine := proc.UltraSPARCT2Machine()
+	machine.Topo = t2.Topology{Cores: 1, PipesPerCore: 1, ContextsPerPipe: 8}
+
+	pool := taskPool()
+	const coRun = 8
+
+	// Measure a workload: throughput of the chosen 8 tasks co-running.
+	measure := func(pick []int) float64 {
+		tasks := make([]proc.Task, len(pick))
+		placement := make([]int, len(pick))
+		for i, idx := range pick {
+			tasks[i] = proc.Task{Demand: pool[idx].demand, Group: i}
+			placement[i] = i
+		}
+		res, err := machine.Solve(tasks, nil, placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.TotalPPS
+	}
+
+	// Sample random workloads (uniform 8-subsets of the pool).
+	rng := rand.New(rand.NewSource(11))
+	const samples = 2000
+	perfs := make([]float64, 0, samples)
+	bestPerf, bestPick := math.Inf(-1), []int(nil)
+	for i := 0; i < samples; i++ {
+		pick := rng.Perm(len(pool))[:coRun]
+		p := measure(pick)
+		perfs = append(perfs, p)
+		if p > bestPerf {
+			bestPerf, bestPick = p, append([]int(nil), pick...)
+		}
+	}
+
+	rep, err := evt.Analyze(perfs, evt.POTOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload selection on %s: choose %d of %d candidate tasks\n",
+		machine.Topo, coRun, len(pool))
+	fmt.Printf("random workloads sampled:   %d\n", samples)
+	fmt.Printf("best sampled workload:      %.6g ops/s\n", bestPerf)
+	fmt.Print("  tasks: ")
+	for _, idx := range bestPick {
+		fmt.Printf("%s ", pool[idx].name)
+	}
+	fmt.Println()
+	fmt.Printf("estimated optimal workload: %.6g ops/s", rep.UPB.Point)
+	if math.IsInf(rep.UPB.Hi, 1) {
+		fmt.Printf(" (0.95 CI [%.6g, unbounded))\n", rep.UPB.Lo)
+	} else {
+		fmt.Printf(" (0.95 CI [%.6g, %.6g])\n", rep.UPB.Lo, rep.UPB.Hi)
+	}
+	fmt.Printf("room for improvement:       %.2f%%\n", rep.HeadroomPct)
+	fmt.Println("\nthe same three steps — sample, measure, fit the tail — answered a")
+	fmt.Println("scheduling question of a different shape, as §7 of the paper promises.")
+}
+
+// taskPool builds twenty heterogeneous candidates: compute-bound,
+// memory-bound, cache-friendly and mixed, so co-schedule symbiosis matters.
+func taskPool() []candidate {
+	var pool []candidate
+	mk := func(name string, serial, ieu, lsu, l1d, l2, mem float64) {
+		var d proc.Demand
+		d.Serial = serial
+		d.Res[proc.IEU] = ieu
+		d.Res[proc.LSU] = lsu
+		d.Res[proc.L1D] = l1d
+		d.Res[proc.L2] = l2
+		d.Res[proc.MEM] = mem
+		pool = append(pool, candidate{name: name, demand: d})
+	}
+	for i := 0; i < 5; i++ {
+		mk(fmt.Sprintf("cpu%d", i), 50, 600+40*float64(i), 100, 100, 0, 0)
+	}
+	for i := 0; i < 5; i++ {
+		mk(fmt.Sprintf("mem%d", i), 50, 150, 250, 80, 150, 300+30*float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		mk(fmt.Sprintf("cache%d", i), 50, 250, 200, 350+25*float64(i), 60, 0)
+	}
+	for i := 0; i < 5; i++ {
+		mk(fmt.Sprintf("mix%d", i), 100, 350, 180, 180, 90, 100+20*float64(i))
+	}
+	return pool
+}

@@ -1,0 +1,3 @@
+module optassign
+
+go 1.22

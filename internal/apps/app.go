@@ -1,0 +1,150 @@
+// Package apps implements the paper's benchmark suite (§4.3) as real
+// packet-processing code: the two IPFwd memory-behaviour variants
+// (IPFwd-L1, IPFwd-Mem), the IPFwd-intadd / IPFwd-intmul pair from the
+// Figure-1 motivation study, the packet analyzer, Aho-Corasick keyword
+// matching over payloads (with a from-scratch automaton), and stateful flow
+// tracking over a 2^16-entry hash table.
+//
+// Every benchmark follows the paper's 3-thread software pipeline (Fig. 9):
+// a receive thread (R) takes packets from the NIU and pushes pointers into
+// a memory queue, a processing thread (P) does the benchmark-specific work,
+// and a transmit thread (T) sends packets back out. Threads do their actual
+// work on real packet bytes and report the per-packet resource demand that
+// the processor model charges for it.
+package apps
+
+import (
+	"fmt"
+
+	"optassign/internal/netgen"
+	"optassign/internal/proc"
+)
+
+// Stage indexes the three pipeline threads.
+type Stage int
+
+// Pipeline stages in order.
+const (
+	Receive Stage = iota
+	Process
+	Transmit
+	NumStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case Receive:
+		return "R"
+	case Process:
+		return "P"
+	case Transmit:
+		return "T"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Thread handles one packet at a time and reports the hardware resources
+// the handling consumed. Implementations keep per-thread state (lookup
+// tables, automata, counters) exactly like the Netra DPS threads they
+// model; Process is called from a single goroutine per thread.
+type Thread interface {
+	Name() string
+	Process(pkt netgen.Packet) proc.Demand
+}
+
+// Pipeline is one benchmark instance: the R→P→T thread triple connected by
+// memory queues.
+type Pipeline struct {
+	R, P, T Thread
+}
+
+// Threads returns the pipeline's threads in stage order.
+func (p Pipeline) Threads() [NumStages]Thread { return [NumStages]Thread{p.R, p.P, p.T} }
+
+// App is a benchmark: a factory for fresh pipeline instances plus the
+// expected per-stage demand the analytic solver uses. MeanDemands must be
+// the expectation of what the threads actually report to keep the
+// discrete-event engine and the analytic solver consistent (they are
+// cross-validated in internal/netdps tests).
+type App interface {
+	Name() string
+	NewPipeline() Pipeline
+	MeanDemands() [NumStages]proc.Demand
+}
+
+// CommVolume is the per-packet queue-communication volume between adjacent
+// stages, identical for all benchmarks (one packet handoff per stage pair).
+const CommVolume = 1.0
+
+// --- Shared receive and transmit threads -------------------------------
+
+// receiveDemand is the fixed footprint of pulling a packet from the NIU DMA
+// ring and publishing it on the R→P queue.
+func receiveDemand() proc.Demand {
+	var d proc.Demand
+	d.Serial = 60
+	d.Res[proc.IFU] = 30
+	d.Res[proc.IEU] = 50
+	d.Res[proc.LSU] = 120
+	d.Res[proc.L1D] = 60
+	d.Res[proc.XBAR] = 40
+	return d
+}
+
+// transmitDemand is the fixed footprint of draining the P→T queue and
+// handing the packet to the NIU transmit ring.
+func transmitDemand() proc.Demand {
+	var d proc.Demand
+	d.Serial = 60
+	d.Res[proc.IFU] = 30
+	d.Res[proc.IEU] = 60
+	d.Res[proc.LSU] = 110
+	d.Res[proc.L1D] = 60
+	d.Res[proc.XBAR] = 40
+	return d
+}
+
+// ReceiveThread models the R stage: it validates the frame as it arrives
+// from the NIU (ethertype + header sanity) and counts traffic.
+type ReceiveThread struct {
+	Packets uint64
+	Bytes   uint64
+	BadEth  uint64
+}
+
+// Name implements Thread.
+func (r *ReceiveThread) Name() string { return "R" }
+
+// Process implements Thread.
+func (r *ReceiveThread) Process(pkt netgen.Packet) proc.Demand {
+	r.Packets++
+	r.Bytes += uint64(len(pkt.Raw))
+	if len(pkt.Raw) < netgen.EthernetHeaderLen ||
+		pkt.Raw[12] != 0x08 || pkt.Raw[13] != 0x00 {
+		r.BadEth++
+	}
+	return receiveDemand()
+}
+
+// TransmitThread models the T stage: it recomputes the IPv4 header checksum
+// (the forwarding path rewrote headers) and counts what goes out.
+type TransmitThread struct {
+	Packets uint64
+	Bytes   uint64
+	BadSum  uint64
+}
+
+// Name implements Thread.
+func (t *TransmitThread) Name() string { return "T" }
+
+// Process implements Thread.
+func (t *TransmitThread) Process(pkt netgen.Packet) proc.Demand {
+	t.Packets++
+	t.Bytes += uint64(len(pkt.Raw))
+	if !pkt.VerifyIPv4Checksum() {
+		t.BadSum++
+	}
+	return transmitDemand()
+}

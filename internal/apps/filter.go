@@ -1,0 +1,252 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"optassign/internal/netgen"
+)
+
+// CompileFilter builds a packet predicate from a tcpdump-flavoured
+// expression, the "filters based on many criteria" the paper's packet
+// analyzer supports. Examples:
+//
+//	proto == tcp && dstport < 1024
+//	srcip == 10.1.2.3 || ttl <= 5
+//	!(dstport == 80) && len >= 512
+//
+// Fields: proto, ttl, srcport, dstport, srcip, dstip, len.
+// Operators: == != < <= > >=, combined with && || ! and parentheses.
+// Values: integers, dotted IPv4 addresses, or the protocol names tcp/udp.
+func CompileFilter(expr string) (func(netgen.Header) bool, error) {
+	toks, err := lexFilter(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &filterParser{toks: toks}
+	node, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("apps: filter: unexpected %q", p.peek())
+	}
+	return node, nil
+}
+
+// --- lexer ---------------------------------------------------------------
+
+func lexFilter(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '&' || c == '|':
+			if i+1 >= len(s) || s[i+1] != c {
+				return nil, fmt.Errorf("apps: filter: lone %q", string(c))
+			}
+			toks = append(toks, s[i:i+2])
+			i += 2
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, "!=")
+				i += 2
+			} else {
+				toks = append(toks, "!")
+				i++
+			}
+		case c == '=' || c == '<' || c == '>':
+			if c == '=' && (i+1 >= len(s) || s[i+1] != '=') {
+				return nil, fmt.Errorf("apps: filter: use == for equality")
+			}
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, s[i:i+2])
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(s) && (isAlnum(s[j]) || s[j] == '.') {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("apps: filter: unexpected character %q", string(c))
+			}
+			toks = append(toks, strings.ToLower(s[i:j]))
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// --- parser --------------------------------------------------------------
+
+type filterNode func(netgen.Header) bool
+
+type filterParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *filterParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *filterParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *filterParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *filterParser) parseOr() (filterNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "||" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(h netgen.Header) bool { return l(h) || right(h) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseAnd() (filterNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&&" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(h netgen.Header) bool { return l(h) && right(h) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseUnary() (filterNode, error) {
+	switch p.peek() {
+	case "!":
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(h netgen.Header) bool { return !inner(h) }, nil
+	case "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("apps: filter: missing )")
+		}
+		return inner, nil
+	case "":
+		return nil, fmt.Errorf("apps: filter: unexpected end of expression")
+	default:
+		return p.parseComparison()
+	}
+}
+
+var filterFields = map[string]func(netgen.Header) uint64{
+	"proto":   func(h netgen.Header) uint64 { return uint64(h.Proto) },
+	"ttl":     func(h netgen.Header) uint64 { return uint64(h.TTL) },
+	"srcport": func(h netgen.Header) uint64 { return uint64(h.SrcPort) },
+	"dstport": func(h netgen.Header) uint64 { return uint64(h.DstPort) },
+	"srcip":   func(h netgen.Header) uint64 { return uint64(h.SrcIP) },
+	"dstip":   func(h netgen.Header) uint64 { return uint64(h.DstIP) },
+	"len":     func(h netgen.Header) uint64 { return uint64(h.Length) },
+}
+
+func (p *filterParser) parseComparison() (filterNode, error) {
+	field := p.next()
+	get, ok := filterFields[field]
+	if !ok {
+		return nil, fmt.Errorf("apps: filter: unknown field %q", field)
+	}
+	op := p.next()
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("apps: filter: bad operator %q after %q", op, field)
+	}
+	raw := p.next()
+	if raw == "" {
+		return nil, fmt.Errorf("apps: filter: missing value after %q %s", field, op)
+	}
+	val, err := parseFilterValue(field, raw)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "==":
+		return func(h netgen.Header) bool { return get(h) == val }, nil
+	case "!=":
+		return func(h netgen.Header) bool { return get(h) != val }, nil
+	case "<":
+		return func(h netgen.Header) bool { return get(h) < val }, nil
+	case "<=":
+		return func(h netgen.Header) bool { return get(h) <= val }, nil
+	case ">":
+		return func(h netgen.Header) bool { return get(h) > val }, nil
+	default:
+		return func(h netgen.Header) bool { return get(h) >= val }, nil
+	}
+}
+
+func parseFilterValue(field, raw string) (uint64, error) {
+	switch raw {
+	case "tcp":
+		return netgen.ProtoTCP, nil
+	case "udp":
+		return netgen.ProtoUDP, nil
+	}
+	if strings.Contains(raw, ".") {
+		parts := strings.Split(raw, ".")
+		if len(parts) != 4 {
+			return 0, fmt.Errorf("apps: filter: bad IPv4 address %q", raw)
+		}
+		var ip uint64
+		for _, part := range parts {
+			octet, err := strconv.ParseUint(part, 10, 8)
+			if err != nil {
+				return 0, fmt.Errorf("apps: filter: bad IPv4 address %q", raw)
+			}
+			ip = ip<<8 | octet
+		}
+		return ip, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("apps: filter: bad value %q for %q", raw, field)
+	}
+	return v, nil
+}

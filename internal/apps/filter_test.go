@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"testing"
+
+	"optassign/internal/netgen"
+)
+
+func hdr(proto uint8, ttl uint8, srcIP, dstIP uint32, sp, dp uint16, length int) netgen.Header {
+	return netgen.Header{Proto: proto, TTL: ttl, SrcIP: srcIP, DstIP: dstIP, SrcPort: sp, DstPort: dp, Length: length}
+}
+
+func TestCompileFilterBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		h    netgen.Header
+		want bool
+	}{
+		{"proto == tcp", hdr(6, 64, 1, 2, 1000, 80, 100), true},
+		{"proto == udp", hdr(6, 64, 1, 2, 1000, 80, 100), false},
+		{"proto != udp", hdr(6, 64, 1, 2, 1000, 80, 100), true},
+		{"dstport < 1024", hdr(6, 64, 1, 2, 1000, 80, 100), true},
+		{"dstport >= 1024", hdr(6, 64, 1, 2, 1000, 80, 100), false},
+		{"ttl <= 5", hdr(6, 3, 1, 2, 1, 2, 100), true},
+		{"len > 512", hdr(6, 64, 1, 2, 1, 2, 600), true},
+		{"srcip == 10.0.0.1", hdr(6, 64, 0x0a000001, 2, 1, 2, 100), true},
+		{"dstip == 192.168.0.1", hdr(6, 64, 1, 0xc0a80001, 1, 2, 100), true},
+		{"dstip == 192.168.0.2", hdr(6, 64, 1, 0xc0a80001, 1, 2, 100), false},
+		{"srcport > 1023 && dstport == 80", hdr(6, 64, 1, 2, 5000, 80, 100), true},
+		{"srcport > 1023 && dstport == 80", hdr(6, 64, 1, 2, 100, 80, 100), false},
+		{"dstport == 80 || dstport == 443", hdr(6, 64, 1, 2, 1, 443, 100), true},
+		{"!(dstport == 80)", hdr(6, 64, 1, 2, 1, 80, 100), false},
+		{"proto == tcp && (dstport == 80 || dstport == 443) && ttl > 1",
+			hdr(6, 64, 1, 2, 1, 443, 100), true},
+		{"proto == tcp && (dstport == 80 || dstport == 443) && ttl > 1",
+			hdr(6, 1, 1, 2, 1, 443, 100), false},
+	}
+	for _, c := range cases {
+		f, err := CompileFilter(c.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		if got := f(c.h); got != c.want {
+			t.Errorf("%q on %+v = %v, want %v", c.expr, c.h, got, c.want)
+		}
+	}
+}
+
+func TestCompileFilterPrecedence(t *testing.T) {
+	// && binds tighter than ||: a || b && c  ==  a || (b && c).
+	f, err := CompileFilter("dstport == 80 || dstport == 443 && ttl > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f(hdr(6, 1, 1, 2, 1, 80, 100)) {
+		t.Error("left disjunct should match regardless of ttl")
+	}
+	if f(hdr(6, 1, 1, 2, 1, 443, 100)) {
+		t.Error("right conjunct requires ttl > 100")
+	}
+}
+
+func TestCompileFilterErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"bogus == 1",
+		"proto = tcp",
+		"proto ==",
+		"proto == nosuch",
+		"dstport < ",
+		"dstport < 1 &&",
+		"(dstport < 1",
+		"dstport < 1 extra",
+		"srcip == 1.2.3",
+		"srcip == 1.2.3.999",
+		"proto & tcp",
+		"ttl == 3 | ttl == 4",
+		"dstport ? 80",
+	}
+	for _, expr := range bad {
+		if _, err := CompileFilter(expr); err == nil {
+			t.Errorf("%q accepted", expr)
+		}
+	}
+}
+
+func TestAnalyzerWithCompiledFilter(t *testing.T) {
+	app := NewAnalyzer()
+	f, err := CompileFilter("proto == udp && dstport == 53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Filter = f
+	pipe := app.NewPipeline()
+	dns := netgen.Build([6]byte{}, [6]byte{}, 1, 2, netgen.ProtoUDP, 64, 5353, 53, []byte("q"))
+	web := netgen.Build([6]byte{}, [6]byte{}, 1, 2, netgen.ProtoTCP, 64, 5353, 80, []byte("q"))
+	pipe.P.Process(dns)
+	pipe.P.Process(web)
+	ap := pipe.P.(*analyzerProcess)
+	if ap.Logged != 1 || ap.Filtered != 1 {
+		t.Errorf("logged=%d filtered=%d", ap.Logged, ap.Filtered)
+	}
+}

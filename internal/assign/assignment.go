@@ -1,0 +1,148 @@
+// Package assign represents task-to-hardware-context assignments and the
+// combinatorics around them: validity, symmetry (canonical forms), uniform
+// random sampling (the paper's §3.3.2 Step 1 method), exact counting of the
+// assignment population (Table 1) and exhaustive enumeration for small
+// workloads (the ~1500-assignment studies of Figures 1 and 3).
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"optassign/internal/t2"
+)
+
+// Assignment maps every task of a workload to a hardware context of a
+// processor. Ctx[i] is the context executing task i.
+type Assignment struct {
+	Topo t2.Topology
+	Ctx  []int
+}
+
+// Errors returned by Validate.
+var (
+	ErrContextOutOfRange = errors.New("assign: context out of range")
+	ErrContextCollision  = errors.New("assign: two tasks mapped to the same context")
+	ErrNoTasks           = errors.New("assign: assignment has no tasks")
+)
+
+// Tasks returns the number of tasks in the assignment.
+func (a Assignment) Tasks() int { return len(a.Ctx) }
+
+// Validate checks the assignment is well formed: the topology is valid,
+// every context index is in range, and no two tasks share a context (Netra
+// DPS binds at most one task per strand).
+func (a Assignment) Validate() error {
+	if err := a.Topo.Validate(); err != nil {
+		return err
+	}
+	if len(a.Ctx) == 0 {
+		return ErrNoTasks
+	}
+	v := a.Topo.Contexts()
+	seen := make(map[int]int, len(a.Ctx))
+	for i, c := range a.Ctx {
+		if c < 0 || c >= v {
+			return fmt.Errorf("%w: task %d -> context %d (V=%d)", ErrContextOutOfRange, i, c, v)
+		}
+		if j, dup := seen[c]; dup {
+			return fmt.Errorf("%w: tasks %d and %d -> context %d", ErrContextCollision, j, i, c)
+		}
+		seen[c] = i
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (a Assignment) Clone() Assignment {
+	return Assignment{Topo: a.Topo, Ctx: append([]int(nil), a.Ctx...)}
+}
+
+// TasksByPipe groups task indices by the global pipeline they run in.
+// Pipelines with no tasks are omitted.
+func (a Assignment) TasksByPipe() map[int][]int {
+	m := make(map[int][]int)
+	for task, ctx := range a.Ctx {
+		p := a.Topo.PipeOf(ctx)
+		m[p] = append(m[p], task)
+	}
+	return m
+}
+
+// TasksByCore groups task indices by core. Cores with no tasks are omitted.
+func (a Assignment) TasksByCore() map[int][]int {
+	m := make(map[int][]int)
+	for task, ctx := range a.Ctx {
+		c := a.Topo.CoreOf(ctx)
+		m[c] = append(m[c], task)
+	}
+	return m
+}
+
+// CanonicalKey returns a string that is identical for exactly those
+// assignments that are equivalent under the hardware symmetries: permuting
+// cores, permuting pipelines within a core, and permuting strand slots
+// within a pipeline. Performance depends only on this equivalence class
+// (which resources are shared by whom), not on the concrete context labels.
+func (a Assignment) CanonicalKey() string {
+	// Core content := sorted list of pipe contents; pipe content := sorted
+	// task IDs. Cores sorted by their rendered content.
+	type pipeSet []int
+	coreMap := make(map[int]map[int][]int) // core -> pipeInCore -> tasks
+	for task, ctx := range a.Ctx {
+		core := a.Topo.CoreOf(ctx)
+		pipe := a.Topo.PipeOf(ctx) % a.Topo.PipesPerCore
+		if coreMap[core] == nil {
+			coreMap[core] = make(map[int][]int)
+		}
+		coreMap[core][pipe] = append(coreMap[core][pipe], task)
+	}
+	var cores []string
+	for _, pipes := range coreMap {
+		var rendered []string
+		for _, tasks := range pipes {
+			sort.Ints(tasks)
+			rendered = append(rendered, fmt.Sprint(tasks))
+		}
+		sort.Strings(rendered)
+		cores = append(cores, strings.Join(rendered, "|"))
+	}
+	sort.Strings(cores)
+	return strings.Join(cores, " / ")
+}
+
+// String renders the assignment in the paper's {[a b][c]}{[d][]} style, one
+// brace group per occupied core, brackets per pipeline.
+func (a Assignment) String() string {
+	byCore := a.TasksByCore()
+	coreIDs := make([]int, 0, len(byCore))
+	for c := range byCore {
+		coreIDs = append(coreIDs, c)
+	}
+	sort.Ints(coreIDs)
+	var b strings.Builder
+	for _, core := range coreIDs {
+		b.WriteString("{")
+		for p := 0; p < a.Topo.PipesPerCore; p++ {
+			b.WriteString("[")
+			var ts []int
+			for _, task := range byCore[core] {
+				if a.Topo.PipeOf(a.Ctx[task])%a.Topo.PipesPerCore == p {
+					ts = append(ts, task)
+				}
+			}
+			sort.Ints(ts)
+			for i, task := range ts {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "t%d", task)
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}

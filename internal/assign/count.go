@@ -1,0 +1,133 @@
+package assign
+
+import (
+	"fmt"
+	"math/big"
+
+	"optassign/internal/t2"
+)
+
+// Count returns the exact number of distinct task assignments of `tasks`
+// distinguishable tasks onto topo, where assignments are counted up to the
+// hardware symmetries (cores interchangeable, pipelines within a core
+// interchangeable, strand slots within a pipeline interchangeable). This is
+// the population size of Table 1: 11 assignments for 3 tasks on the
+// UltraSPARC T2, ~1.5k for 6 tasks, and astronomically many for 60.
+//
+// The computation is a two-level labeled-partition dynamic program in exact
+// big-integer arithmetic:
+//
+//   - coreWays(s): ways to structure s labeled tasks as one core — set
+//     partitions into at most PipesPerCore blocks of at most
+//     ContextsPerPipe tasks each;
+//   - the machine level: set partitions of all tasks into at most Cores
+//     non-empty cores, each weighted by coreWays, via the standard
+//     "block containing the smallest remaining element" recursion.
+func Count(topo t2.Topology, tasks int) (*big.Int, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if tasks < 0 {
+		return nil, fmt.Errorf("assign: negative task count %d", tasks)
+	}
+	if tasks > topo.Contexts() {
+		return big.NewInt(0), nil
+	}
+	if tasks == 0 {
+		return big.NewInt(1), nil
+	}
+
+	coreCap := topo.PipesPerCore * topo.ContextsPerPipe
+	binomRows := tasks
+	if coreCap > binomRows {
+		binomRows = coreCap
+	}
+	binom := binomialTable(binomRows)
+
+	// q[s][j]: partitions of s labeled tasks into exactly j blocks of size
+	// <= ContextsPerPipe.
+	q := make([][]*big.Int, coreCap+1)
+	for s := range q {
+		q[s] = make([]*big.Int, topo.PipesPerCore+1)
+		for j := range q[s] {
+			q[s][j] = big.NewInt(0)
+		}
+	}
+	q[0][0].SetInt64(1)
+	for s := 1; s <= coreCap; s++ {
+		for j := 1; j <= topo.PipesPerCore; j++ {
+			for k := 1; k <= topo.ContextsPerPipe && k <= s; k++ {
+				term := new(big.Int).Mul(binom[s-1][k-1], q[s-k][j-1])
+				q[s][j].Add(q[s][j], term)
+			}
+		}
+	}
+	// coreWays[s] = Σ_j q[s][j] for j = 1..PipesPerCore.
+	coreWays := make([]*big.Int, coreCap+1)
+	for s := 0; s <= coreCap; s++ {
+		coreWays[s] = big.NewInt(0)
+		for j := 1; j <= topo.PipesPerCore; j++ {
+			coreWays[s].Add(coreWays[s], q[s][j])
+		}
+	}
+
+	// a[n][c]: partitions of n labeled tasks into exactly c cores, each
+	// core weighted by coreWays.
+	a := make([][]*big.Int, tasks+1)
+	for n := range a {
+		a[n] = make([]*big.Int, topo.Cores+1)
+		for c := range a[n] {
+			a[n][c] = big.NewInt(0)
+		}
+	}
+	a[0][0].SetInt64(1)
+	for n := 1; n <= tasks; n++ {
+		for c := 1; c <= topo.Cores; c++ {
+			for s := 1; s <= coreCap && s <= n; s++ {
+				if coreWays[s].Sign() == 0 {
+					continue
+				}
+				term := new(big.Int).Mul(binom[n-1][s-1], coreWays[s])
+				term.Mul(term, a[n-s][c-1])
+				a[n][c].Add(a[n][c], term)
+			}
+		}
+	}
+	total := big.NewInt(0)
+	for c := 1; c <= topo.Cores; c++ {
+		total.Add(total, a[tasks][c])
+	}
+	return total, nil
+}
+
+// RawPlacements returns the number of injective task→context maps,
+// V·(V−1)···(V−T+1): the size of the label-level space the random sampler
+// draws from (context labels distinguished, no symmetry reduction).
+func RawPlacements(topo t2.Topology, tasks int) (*big.Int, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	v := topo.Contexts()
+	if tasks < 0 || tasks > v {
+		return big.NewInt(0), nil
+	}
+	out := big.NewInt(1)
+	for i := 0; i < tasks; i++ {
+		out.Mul(out, big.NewInt(int64(v-i)))
+	}
+	return out, nil
+}
+
+// binomialTable returns Pascal's triangle up to row n as big integers.
+func binomialTable(n int) [][]*big.Int {
+	t := make([][]*big.Int, n+1)
+	for i := 0; i <= n; i++ {
+		t[i] = make([]*big.Int, i+1)
+		t[i][0] = big.NewInt(1)
+		t[i][i] = big.NewInt(1)
+		for j := 1; j < i; j++ {
+			t[i][j] = new(big.Int).Add(t[i-1][j-1], t[i-1][j])
+		}
+	}
+	return t
+}

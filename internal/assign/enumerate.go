@@ -1,0 +1,106 @@
+package assign
+
+import (
+	"fmt"
+
+	"optassign/internal/t2"
+)
+
+// ErrTooManyAssignments is returned by Enumerate when the population
+// exceeds the caller's limit.
+var ErrTooManyAssignments = fmt.Errorf("assign: population exceeds enumeration limit")
+
+// Enumerate generates every distinct assignment (one representative per
+// symmetry class, cf. CanonicalKey) of `tasks` tasks onto topo. It is the
+// exhaustive-search engine behind Figures 1 and 3, where the 6-task
+// population of ≈1.5k assignments is fully measured. limit bounds the
+// number of generated assignments (0 means no bound); ErrTooManyAssignments
+// is returned when it would be exceeded — use Count first for large
+// populations.
+//
+// Canonicity is achieved by first-use ordering: a task may open only the
+// lowest-numbered empty pipeline of a core and only the lowest-numbered
+// empty core, so each equivalence class is produced exactly once.
+func Enumerate(topo t2.Topology, tasks, limit int) ([]Assignment, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if tasks < 1 || tasks > topo.Contexts() {
+		return nil, fmt.Errorf("assign: %d tasks do not fit %s", tasks, topo)
+	}
+
+	type pipeState struct {
+		core, pipe int
+		occupancy  int
+	}
+	var (
+		out []Assignment
+		// Open pipes in first-use order. Capacity is fixed up front: the
+		// recursion appends and truncates, and a reallocation would detach
+		// in-flight index references from the live array.
+		pipes     = make([]pipeState, 0, topo.Pipes())
+		pipesUsed = make([]int, topo.Cores)
+		coresUsed int
+		ctx       = make([]int, tasks)
+	)
+
+	var rec func(task int) error
+	rec = func(task int) error {
+		if task == tasks {
+			if limit > 0 && len(out) >= limit {
+				return ErrTooManyAssignments
+			}
+			out = append(out, Assignment{Topo: topo, Ctx: append([]int(nil), ctx...)})
+			return nil
+		}
+		// Option 1: an existing pipe with a free strand.
+		for i := range pipes {
+			if pipes[i].occupancy >= topo.ContextsPerPipe {
+				continue
+			}
+			ctx[task] = topo.Context(pipes[i].core, pipes[i].pipe, pipes[i].occupancy)
+			pipes[i].occupancy++
+			err := rec(task + 1)
+			pipes[i].occupancy--
+			if err != nil {
+				return err
+			}
+		}
+		// Option 2: open the next pipe of a core that already has one.
+		for core := 0; core < coresUsed; core++ {
+			if pipesUsed[core] >= topo.PipesPerCore {
+				continue
+			}
+			pipe := pipesUsed[core]
+			pipesUsed[core]++
+			pipes = append(pipes, pipeState{core: core, pipe: pipe, occupancy: 1})
+			ctx[task] = topo.Context(core, pipe, 0)
+			err := rec(task + 1)
+			pipes = pipes[:len(pipes)-1]
+			pipesUsed[core]--
+			if err != nil {
+				return err
+			}
+		}
+		// Option 3: open the next unused core.
+		if coresUsed < topo.Cores {
+			core := coresUsed
+			coresUsed++
+			pipesUsed[core] = 1
+			pipes = append(pipes, pipeState{core: core, pipe: 0, occupancy: 1})
+			ctx[task] = topo.Context(core, 0, 0)
+			err := rec(task + 1)
+			pipes = pipes[:len(pipes)-1]
+			pipesUsed[core] = 0
+			coresUsed--
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

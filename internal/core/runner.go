@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optassign/internal/assign"
+	"optassign/internal/t2"
+)
+
+// Runner executes a task assignment on the target system and reports its
+// measured performance (higher is better; the case study measures packets
+// per second). The netdps.Testbed satisfies this interface with its
+// simulated machine; on real hardware an implementation would bind the
+// workload and read counters, exactly as the paper's Netra DPS setup did.
+type Runner interface {
+	Measure(a assign.Assignment) (float64, error)
+}
+
+// RunnerFunc adapts a plain function to the Runner interface.
+type RunnerFunc func(a assign.Assignment) (float64, error)
+
+// Measure implements Runner.
+func (f RunnerFunc) Measure(a assign.Assignment) (float64, error) { return f(a) }
+
+// SampleResult pairs an executed assignment with its measured performance.
+type SampleResult struct {
+	Assignment assign.Assignment
+	Perf       float64
+}
+
+// Best returns the index of the best-performing result, or -1 for an empty
+// slice.
+func Best(results []SampleResult) int {
+	best := -1
+	for i, r := range results {
+		if best < 0 || r.Perf > results[best].Perf {
+			best = i
+		}
+	}
+	return best
+}
+
+// Perfs extracts the performance values from results.
+func Perfs(results []SampleResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.Perf
+	}
+	return out
+}
+
+// CollectSample generates n iid random assignments of `tasks` tasks on
+// topo (the paper's §3.3.2 Step 1), measures each with the runner, and
+// returns the results in execution order.
+func CollectSample(rng *rand.Rand, topo t2.Topology, tasks, n int, runner Runner) ([]SampleResult, error) {
+	if runner == nil {
+		return nil, fmt.Errorf("core: nil runner")
+	}
+	as, err := assign.Sample(rng, topo, tasks, n)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]SampleResult, 0, n)
+	for _, a := range as {
+		perf, err := runner.Measure(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring assignment: %w", err)
+		}
+		results = append(results, SampleResult{Assignment: a, Perf: perf})
+	}
+	return results, nil
+}

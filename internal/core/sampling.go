@@ -1,0 +1,78 @@
+// Package core implements the paper's contribution: the statistical
+// approach to optimal task assignment. It has three parts, mirroring §3:
+//
+//  1. the sampling-probability analysis — how likely a sample of n random
+//     assignments is to contain one of the best-performing P% (§3.1);
+//  2. the optimal-performance estimator — a Peak-Over-Threshold fit of the
+//     sample's upper tail yielding the Upper Performance Bound and its
+//     confidence interval (§3.3, via internal/evt);
+//  3. the iterative assignment algorithm — keep sampling until the best
+//     observed assignment is within the customer's acceptable distance of
+//     the estimated optimum (§5.3, Fig. 13).
+//
+// The method is architecture- and application-independent: it needs only a
+// Runner that can execute an assignment and report its performance.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CaptureProbability returns P(A): the probability that a sample of n
+// independent uniformly drawn task assignments contains at least one of the
+// best-performing topPct% of the population,
+//
+//	P(A) = 1 − ((100 − topPct)/100)^n,
+//
+// independent of the population size for the astronomically large
+// populations of Table 1 (§3.1).
+func CaptureProbability(n int, topPct float64) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative sample size %d", n)
+	}
+	if topPct <= 0 || topPct > 100 {
+		return 0, fmt.Errorf("core: top percentage must be in (0, 100], got %v", topPct)
+	}
+	return 1 - math.Pow((100-topPct)/100, float64(n)), nil
+}
+
+// RequiredSampleSize returns the smallest n with
+// CaptureProbability(n, topPct) >= prob. It inverts the §3.1 formula:
+// n = ⌈ln(1−prob) / ln((100−topPct)/100)⌉.
+func RequiredSampleSize(topPct, prob float64) (int, error) {
+	if topPct <= 0 || topPct > 100 {
+		return 0, fmt.Errorf("core: top percentage must be in (0, 100], got %v", topPct)
+	}
+	if prob < 0 || prob >= 1 {
+		return 0, fmt.Errorf("core: probability must be in [0, 1), got %v", prob)
+	}
+	if prob == 0 {
+		return 0, nil
+	}
+	if topPct == 100 {
+		return 1, nil
+	}
+	n := math.Log(1-prob) / math.Log((100-topPct)/100)
+	return int(math.Ceil(n - 1e-12)), nil
+}
+
+// CapturePoint is one point of a Figure-2 curve.
+type CapturePoint struct {
+	N    int
+	Prob float64
+}
+
+// CaptureCurve evaluates CaptureProbability over the sample sizes ns —
+// one Figure-2 series for a given topPct.
+func CaptureCurve(topPct float64, ns []int) ([]CapturePoint, error) {
+	out := make([]CapturePoint, 0, len(ns))
+	for _, n := range ns {
+		p, err := CaptureProbability(n, topPct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CapturePoint{N: n, Prob: p})
+	}
+	return out, nil
+}

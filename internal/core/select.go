@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optassign/internal/assign"
+	"optassign/internal/evt"
+	"optassign/internal/t2"
+)
+
+// WorkloadRunner measures a combination of workload selection and task
+// assignment: pick names the chosen tasks (indices into a caller-defined
+// candidate pool) and a places them on the hardware. It generalizes Runner
+// to the combined scheduling problem the paper leaves as future work (§7):
+// on processors with several sharing levels the OS both selects which ready
+// tasks co-run and where they go.
+type WorkloadRunner interface {
+	MeasureWorkload(pick []int, a assign.Assignment) (float64, error)
+}
+
+// SelectConfig parameterizes SelectAndAssign.
+type SelectConfig struct {
+	Topo t2.Topology
+	// PoolSize is the number of ready-to-run candidate tasks.
+	PoolSize int
+	// WorkloadSize is how many of them co-run (== tasks in the assignment).
+	WorkloadSize int
+	// Samples is the number of random (workload, assignment) combinations
+	// to measure.
+	Samples int
+	// POT configures the optimal-performance estimation.
+	POT  evt.POTOptions
+	Seed int64
+}
+
+// SelectResult is the outcome of the combined sampling study.
+type SelectResult struct {
+	BestPick       []int             // the best workload found
+	BestAssignment assign.Assignment // and its assignment
+	BestPerf       float64
+	Estimate       Estimate // EVT estimate of the optimal combination
+	Samples        int
+}
+
+// SelectAndAssign applies the §3 statistical machinery to the *combined*
+// workload-selection + task-assignment space: each sample uniformly draws a
+// WorkloadSize-subset of the candidate pool and a uniform valid assignment
+// for it, measures the combination, and the EVT estimator bounds the
+// performance of the best possible combination. The population here is the
+// product of the C(pool, k) subsets and the assignment population — even
+// more hopeless to enumerate, and the method does not care.
+func SelectAndAssign(cfg SelectConfig, runner WorkloadRunner) (SelectResult, error) {
+	switch {
+	case runner == nil:
+		return SelectResult{}, fmt.Errorf("core: nil workload runner")
+	case cfg.PoolSize < 1:
+		return SelectResult{}, fmt.Errorf("core: pool size %d", cfg.PoolSize)
+	case cfg.WorkloadSize < 1 || cfg.WorkloadSize > cfg.PoolSize:
+		return SelectResult{}, fmt.Errorf("core: workload size %d of pool %d", cfg.WorkloadSize, cfg.PoolSize)
+	case cfg.Samples < 1:
+		return SelectResult{}, fmt.Errorf("core: sample count %d", cfg.Samples)
+	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return SelectResult{}, err
+	}
+	if cfg.WorkloadSize > cfg.Topo.Contexts() {
+		return SelectResult{}, fmt.Errorf("core: workload of %d tasks does not fit %s", cfg.WorkloadSize, cfg.Topo)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := SelectResult{Samples: cfg.Samples}
+	perfs := make([]float64, 0, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		pick := rng.Perm(cfg.PoolSize)[:cfg.WorkloadSize]
+		a, err := assign.RandomPermutation(rng, cfg.Topo, cfg.WorkloadSize)
+		if err != nil {
+			return SelectResult{}, err
+		}
+		perf, err := runner.MeasureWorkload(pick, a)
+		if err != nil {
+			return SelectResult{}, fmt.Errorf("core: measuring combination %d: %w", i, err)
+		}
+		perfs = append(perfs, perf)
+		if res.BestPick == nil || perf > res.BestPerf {
+			res.BestPick = append([]int(nil), pick...)
+			res.BestAssignment = a
+			res.BestPerf = perf
+		}
+	}
+	est, err := EstimateOptimal(perfs, cfg.POT)
+	if err != nil {
+		return res, fmt.Errorf("core: estimating optimal combination: %w", err)
+	}
+	res.Estimate = est
+	return res, nil
+}

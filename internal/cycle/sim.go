@@ -1,0 +1,376 @@
+// Package cycle is a cycle-approximate simulator of a fine-grained
+// multithreaded processor in the UltraSPARC T2 style: every hardware
+// pipeline issues at most one instruction per cycle, round-robin among its
+// ready strands; every core has a single load/store port; cache misses and
+// long-latency private operations park a strand without consuming issue
+// slots (latency hiding — the very mechanism that makes MMT processors
+// throughput machines).
+//
+// It is the third, lowest-level measurement path of the repository (next to
+// netdps.MeasureAnalytic and netdps.MeasureEngine): instead of charging
+// contention through utilization curves, contention *emerges* from slot and
+// port arbitration. The cross-validation tests check that the emergent
+// behaviour agrees qualitatively with the analytic model — same winners,
+// same bottlenecks — which grounds the calibrated curves used by the mass
+// experiments.
+package cycle
+
+import (
+	"fmt"
+	"math"
+
+	"optassign/internal/proc"
+	"optassign/internal/t2"
+)
+
+// opClass is the kind of work a strand performs next.
+type opClass uint8
+
+const (
+	opIssue  opClass = iota // occupies the pipe's issue slot for one cycle
+	opLSU                   // issue slot + the core's load/store port
+	opMiss                  // parks the strand for a memory latency
+	opSerial                // parks the strand in a private long-latency unit
+)
+
+// op is one unit of strand work.
+type op struct {
+	class   opClass
+	latency int32 // park duration for opMiss/opSerial
+}
+
+// packetProgram is the per-packet op sequence of one task, derived from its
+// demand vector. The same packet program repeats for every packet.
+type packetProgram struct {
+	ops []op
+}
+
+// missChunk splits aggregate miss latency into chunks of this many cycles
+// so misses interleave with computation instead of forming one mega-stall.
+const missChunk = 40
+
+// buildProgram converts a demand vector into an op stream with the same
+// aggregate resource occupancy:
+//
+//	IFU+IEU cycles   → that many issue ops
+//	LSU cycles       → that many LSU ops
+//	cache/mem cycles → miss ops totalling that latency
+//	Serial cycles    → serial ops totalling that latency
+func buildProgram(d proc.Demand) packetProgram {
+	issue := int(math.Round(d.Res[proc.IFU] + d.Res[proc.IEU]))
+	lsu := int(math.Round(d.Res[proc.LSU]))
+	missTotal := int(math.Round(d.Res[proc.L1I] + d.Res[proc.L1D] + d.Res[proc.TLB] +
+		d.Res[proc.L2] + d.Res[proc.MEM] + d.Res[proc.XBAR] + d.Res[proc.FPU] + d.Res[proc.CRY]))
+	serial := int(math.Round(d.Serial))
+
+	var ops []op
+	// Interleave the op classes so the stream is representative: compute
+	// the total "tokens" and emit round-robin proportionally.
+	misses := 0
+	if missTotal > 0 {
+		misses = (missTotal + missChunk - 1) / missChunk
+	}
+	total := issue + lsu + misses
+	if total == 0 && serial == 0 {
+		ops = append(ops, op{class: opIssue})
+		return packetProgram{ops: ops}
+	}
+	remIssue, remLSU, remMissLat := issue, lsu, missTotal
+	for remIssue > 0 || remLSU > 0 || remMissLat > 0 {
+		if remIssue > 0 {
+			n := remIssue / max(1, misses+1)
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n && remIssue > 0; i++ {
+				ops = append(ops, op{class: opIssue})
+				remIssue--
+			}
+		}
+		if remLSU > 0 {
+			n := remLSU / max(1, misses+1)
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n && remLSU > 0; i++ {
+				ops = append(ops, op{class: opLSU})
+				remLSU--
+			}
+		}
+		if remMissLat > 0 {
+			lat := missChunk
+			if remMissLat < lat {
+				lat = remMissLat
+			}
+			ops = append(ops, op{class: opMiss, latency: int32(lat)})
+			remMissLat -= lat
+		}
+	}
+	if serial > 0 {
+		// One private long-latency region per packet (e.g. the intmul
+		// multiplier), placed mid-stream.
+		mid := len(ops) / 2
+		ops = append(ops[:mid:mid], append([]op{{class: opSerial, latency: int32(serial)}}, ops[mid:]...)...)
+	}
+	return packetProgram{ops: ops}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// strand is one hardware context with a bound task.
+type strand struct {
+	task      int
+	pipe      int
+	core      int
+	program   packetProgram
+	pc        int   // index into program.ops for the current packet
+	wakeCycle int64 // strand parked until this cycle
+	// Pipeline-stage coupling.
+	group, stage int
+	commLatency  int32 // added park when taking a packet from the queue
+	packets      int64 // packets completed
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// QueueDepth is the R→P / P→T memory queue capacity.
+	QueueDepth int
+	// MaxCycles aborts runaway simulations (0 = no bound).
+	MaxCycles int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Result reports a finished simulation.
+type Result struct {
+	Cycles     int64
+	TotalPPS   float64
+	GroupPPS   []float64
+	IssueBusy  []int64 // per pipe: cycles the issue slot was used
+	LSUBusy    []int64 // per core: cycles the LSU port was used
+	LSUBlocked int64   // strand-cycles lost waiting for a busy LSU port
+}
+
+// Sim is a configured simulation instance.
+type Sim struct {
+	machine *proc.Machine
+	cfg     Config
+	strands []*strand
+	byPipe  [][]*strand
+	rrIndex []int
+	groups  int
+	// queue occupancy per (group, boundary): boundary 0 = R→P, 1 = P→T.
+	queues [][2]int
+}
+
+// New builds a simulator for tasks placed per placement (context index per
+// task). Tasks with the same Group form an R→P→T pipeline in index order,
+// exactly like netdps testbeds lay them out; links (same shape as
+// proc.Link) determine communication latency by placement distance.
+func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement []int, cfg Config) (*Sim, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("cycle: no tasks")
+	}
+	if len(placement) != len(tasks) {
+		return nil, fmt.Errorf("cycle: %d tasks, %d placements", len(tasks), len(placement))
+	}
+	topo := machine.Topo
+	seen := make(map[int]bool)
+	groups := 0
+	stageOf := make(map[int]int)
+	s := &Sim{machine: machine, cfg: cfg.withDefaults()}
+	for i, task := range tasks {
+		ctx := placement[i]
+		if ctx < 0 || ctx >= topo.Contexts() || seen[ctx] {
+			return nil, fmt.Errorf("cycle: invalid or duplicate context %d", ctx)
+		}
+		seen[ctx] = true
+		if task.Group >= groups {
+			groups = task.Group + 1
+		}
+		st := &strand{
+			task:    i,
+			pipe:    topo.PipeOf(ctx),
+			core:    topo.CoreOf(ctx),
+			program: buildProgram(task.Demand),
+			group:   task.Group,
+			stage:   stageOf[task.Group],
+		}
+		stageOf[task.Group]++
+		s.strands = append(s.strands, st)
+	}
+	for g, n := range stageOf {
+		if n != 3 {
+			return nil, fmt.Errorf("cycle: group %d has %d tasks, need exactly 3 (R, P, T)", g, n)
+		}
+	}
+	s.groups = groups
+	s.queues = make([][2]int, groups)
+
+	// Communication latency per consuming strand (P pays for R→P, T for
+	// P→T), by placement distance.
+	for _, l := range links {
+		if l.A < 0 || l.A >= len(tasks) || l.B < 0 || l.B >= len(tasks) {
+			return nil, fmt.Errorf("cycle: link %v references unknown task", l)
+		}
+		var lat float64
+		if topo.ShareLevel(placement[l.A], placement[l.B]) == t2.InterCore {
+			lat = machine.RemoteCommL2 + machine.RemoteCommXBar
+		} else {
+			lat = machine.LocalCommL1
+		}
+		s.strands[l.B].commLatency += int32(lat)
+	}
+
+	s.byPipe = make([][]*strand, topo.Pipes())
+	for _, st := range s.strands {
+		s.byPipe[st.pipe] = append(s.byPipe[st.pipe], st)
+	}
+	s.rrIndex = make([]int, topo.Pipes())
+	return s, nil
+}
+
+// Run simulates until every pipeline instance has transmitted `packets`
+// packets and returns throughput measured in simulated time.
+func (s *Sim) Run(packets int) (Result, error) {
+	if packets < 1 {
+		return Result{}, fmt.Errorf("cycle: need at least one packet")
+	}
+	topo := s.machine.Topo
+	res := Result{
+		IssueBusy: make([]int64, topo.Pipes()),
+		LSUBusy:   make([]int64, topo.Cores),
+		GroupPPS:  make([]float64, s.groups),
+	}
+	target := int64(packets)
+	lsuTaken := make([]int64, topo.Cores) // cycle number when last used
+	var cycle int64
+
+	done := func() bool {
+		for _, st := range s.strands {
+			if st.stage == 2 && st.packets < target {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !done() {
+		cycle++
+		if s.cfg.MaxCycles > 0 && cycle > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("cycle: exceeded %d cycles", s.cfg.MaxCycles)
+		}
+		for pipe := range s.byPipe {
+			strands := s.byPipe[pipe]
+			if len(strands) == 0 {
+				continue
+			}
+			// Round-robin: try each strand starting after the last issuer.
+			issued := false
+			for k := 0; k < len(strands) && !issued; k++ {
+				st := strands[(s.rrIndex[pipe]+k)%len(strands)]
+				if st.wakeCycle > cycle {
+					continue // parked
+				}
+				if !s.canWork(st, target) {
+					continue // blocked on queues or finished
+				}
+				o := st.program.ops[st.pc]
+				switch o.class {
+				case opIssue:
+					st.pc++
+				case opLSU:
+					if lsuTaken[st.core] == cycle {
+						continue // port busy this cycle; try the next strand
+					}
+					lsuTaken[st.core] = cycle
+					res.LSUBusy[st.core]++
+					st.pc++
+				case opMiss, opSerial:
+					st.wakeCycle = cycle + int64(o.latency)
+					st.pc++
+				}
+				issued = true
+				res.IssueBusy[pipe]++
+				s.rrIndex[pipe] = (s.rrIndex[pipe] + k + 1) % len(strands)
+				if st.pc >= len(st.program.ops) {
+					s.completePacket(st, cycle)
+				}
+			}
+			if !issued {
+				// Count strands that wanted the LSU but lost arbitration.
+				for _, st := range strands {
+					if st.wakeCycle <= cycle && s.canWork(st, target) &&
+						st.program.ops[st.pc].class == opLSU && lsuTaken[st.core] == cycle {
+						res.LSUBlocked++
+					}
+				}
+			}
+		}
+	}
+
+	res.Cycles = cycle
+	seconds := float64(cycle) / s.machine.ClockHz
+	for g := 0; g < s.groups; g++ {
+		for _, st := range s.strands {
+			if st.group == g && st.stage == 2 {
+				res.GroupPPS[g] = float64(st.packets) / seconds
+			}
+		}
+		res.TotalPPS += res.GroupPPS[g]
+	}
+	return res, nil
+}
+
+// canWork reports whether the strand may make progress on its current
+// packet: the upstream queue must have data (P, T) and the downstream queue
+// must have room (R, P). A strand beginning a new packet pays its
+// communication latency implicitly through the queue structure.
+func (s *Sim) canWork(st *strand, target int64) bool {
+	q := &s.queues[st.group]
+	switch st.stage {
+	case 0: // R: source is the saturating NIU; needs room in R→P.
+		if st.packets >= target+int64(s.cfg.QueueDepth) {
+			return false // produced far enough ahead
+		}
+		return q[0] < s.cfg.QueueDepth
+	case 1: // P: needs input and room in P→T.
+		return q[0] > 0 && q[1] < s.cfg.QueueDepth
+	default: // T: needs input.
+		return q[1] > 0
+	}
+}
+
+// completePacket finishes the strand's current packet: move a token across
+// the queues and start the next packet (with communication latency for
+// consumers).
+func (s *Sim) completePacket(st *strand, cycle int64) {
+	q := &s.queues[st.group]
+	switch st.stage {
+	case 0:
+		q[0]++
+	case 1:
+		q[0]--
+		q[1]++
+	default:
+		q[1]--
+	}
+	st.packets++
+	st.pc = 0
+	if st.stage > 0 && st.commLatency > 0 {
+		st.wakeCycle = cycle + int64(st.commLatency)
+	}
+}

@@ -1,0 +1,105 @@
+package evt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMomentsEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := GPD{Xi: -0.25, Sigma: 2}
+	ys := truth.Sample(rng, 50000)
+	g, err := MomentsEstimate(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Xi-truth.Xi) > 0.05 {
+		t.Errorf("moments ξ̂ = %v, want ≈ %v", g.Xi, truth.Xi)
+	}
+	if math.Abs(g.Sigma-truth.Sigma)/truth.Sigma > 0.05 {
+		t.Errorf("moments σ̂ = %v, want ≈ %v", g.Sigma, truth.Sigma)
+	}
+	// Every observation must be inside the estimated support.
+	for _, y := range ys {
+		if y > g.RightEndpoint() {
+			t.Fatalf("moments estimate excludes its own data: y=%v endpoint=%v", y, g.RightEndpoint())
+		}
+	}
+}
+
+func TestMomentsEstimateErrors(t *testing.T) {
+	if _, err := MomentsEstimate([]float64{1}); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := MomentsEstimate([]float64{0, 0, 0}); err == nil {
+		t.Error("degenerate sample should error")
+	}
+	if _, err := MomentsEstimate([]float64{-1, -2, -3}); err == nil {
+		t.Error("negative exceedances should error")
+	}
+}
+
+func TestFitGPDRecoversParameters(t *testing.T) {
+	cases := []GPD{
+		{Xi: -0.4, Sigma: 1},
+		{Xi: -0.2, Sigma: 3},
+		{Xi: -0.1, Sigma: 0.5},
+		{Xi: 0.2, Sigma: 2},
+	}
+	for i, truth := range cases {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		ys := truth.Sample(rng, 4000)
+		fit, err := FitGPD(ys)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(fit.GPD.Xi-truth.Xi) > 0.08 {
+			t.Errorf("case %d: ξ̂ = %v, want ≈ %v", i, fit.GPD.Xi, truth.Xi)
+		}
+		if math.Abs(fit.GPD.Sigma-truth.Sigma)/truth.Sigma > 0.1 {
+			t.Errorf("case %d: σ̂ = %v, want ≈ %v", i, fit.GPD.Sigma, truth.Sigma)
+		}
+		if fit.Method != "mle" || fit.Exceedances != len(ys) {
+			t.Errorf("case %d: metadata %+v", i, fit)
+		}
+		// MLE should (weakly) beat the moments start on its own objective.
+		mom, err := FitGPDMoments(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.LogLikelihood < mom.LogLikelihood-1e-6 {
+			t.Errorf("case %d: MLE logL %v below moments %v", i, fit.LogLikelihood, mom.LogLikelihood)
+		}
+	}
+}
+
+func TestFitGPDTooSmall(t *testing.T) {
+	if _, err := FitGPD([]float64{1, 2, 3}); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFitGPDLikelihoodIsFiniteOnData(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	truth := GPD{Xi: -0.35, Sigma: 1.7}
+	ys := truth.Sample(rng, 500)
+	fit, err := FitGPD(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(fit.LogLikelihood, 0) || math.IsNaN(fit.LogLikelihood) {
+		t.Errorf("logL = %v", fit.LogLikelihood)
+	}
+	// Fitted endpoint must cover the sample maximum.
+	maxY := 0.0
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if fit.GPD.Xi < 0 && fit.GPD.RightEndpoint() < maxY {
+		t.Errorf("fitted endpoint %v below sample max %v", fit.GPD.RightEndpoint(), maxY)
+	}
+}

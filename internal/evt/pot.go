@@ -1,0 +1,76 @@
+package evt
+
+import "fmt"
+
+// POTOptions configures a full Peak-Over-Threshold analysis. The zero value
+// uses the paper's defaults: threshold by linearity scan capped at 5%
+// exceedances, 0.95 confidence level.
+type POTOptions struct {
+	Threshold ThresholdOptions
+	// Alpha is the complement of the confidence level (default 0.05 for a
+	// 0.95 confidence interval, the level used throughout §5).
+	Alpha float64
+}
+
+func (o POTOptions) withDefaults() POTOptions {
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = 0.05
+	}
+	return o
+}
+
+// Report is the result of a complete POT analysis of a performance sample:
+// the estimated optimal system performance with its confidence interval and
+// the diagnostics needed to judge whether the GPD model is trustworthy.
+type Report struct {
+	N           int         // sample size
+	BestObs     float64     // best observed performance in the sample
+	Threshold   Threshold   // selected threshold + exceedances
+	Fit         Fit         // maximum-likelihood GPD fit
+	UPB         UPBInterval // estimated optimum with confidence interval
+	QQCorr      float64     // quantile-plot straightness, ~1 is good
+	Regular     bool        // ξ̂ in (−1/2, 0): Wilks asymptotics fully apply
+	HeadroomPct float64     // (UPB.Point − BestObs) / UPB.Point · 100
+}
+
+// Analyze runs the complete §3.3 pipeline on a raw performance sample:
+// select the threshold, fit the GPD to the exceedances by maximum
+// likelihood, estimate the Upper Performance Bound and its Wilks confidence
+// interval, and attach goodness-of-fit diagnostics.
+func Analyze(sample []float64, opts POTOptions) (Report, error) {
+	o := opts.withDefaults()
+	if len(sample) == 0 {
+		return Report{}, ErrSampleTooSmall
+	}
+	thr, err := SelectThreshold(sample, o.Threshold)
+	if err != nil {
+		return Report{}, fmt.Errorf("threshold selection: %w", err)
+	}
+	fit, err := FitGPD(thr.Exceedances)
+	if err != nil {
+		return Report{}, fmt.Errorf("GPD fit: %w", err)
+	}
+	iv, err := UPBConfidenceInterval(thr.U, thr.Exceedances, fit, o.Alpha)
+	if err != nil {
+		return Report{}, fmt.Errorf("UPB interval: %w", err)
+	}
+	best := sample[0]
+	for _, x := range sample[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	r := Report{
+		N:         len(sample),
+		BestObs:   best,
+		Threshold: thr,
+		Fit:       fit,
+		UPB:       iv,
+		QQCorr:    QQCorrelation(QuantilePlot(thr.Exceedances, fit.GPD)),
+		Regular:   fit.GPD.Xi > -0.5 && fit.GPD.Xi < 0,
+	}
+	if iv.Point > 0 {
+		r.HeadroomPct = (iv.Point - best) / iv.Point * 100
+	}
+	return r, nil
+}

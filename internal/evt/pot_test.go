@@ -1,0 +1,174 @@
+package evt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectThresholdMaxFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	thr, err := SelectThreshold(xs, ThresholdOptions{Rule: RuleMaxFraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly ~5% of 2000 = 100 exceedances (ties aside).
+	if thr.Exceedances == nil || len(thr.Exceedances) < 95 || len(thr.Exceedances) > 100 {
+		t.Errorf("exceedances = %d, want ≈ 100", len(thr.Exceedances))
+	}
+	for _, y := range thr.Exceedances {
+		if y <= 0 {
+			t.Fatalf("non-positive exceedance %v", y)
+		}
+	}
+}
+
+func TestSelectThresholdLinearityScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := GPD{Xi: -0.3, Sigma: 5}
+	xs := g.Sample(rng, 3000)
+	thr, err := SelectThreshold(xs, ThresholdOptions{Rule: RuleLinearityScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(xs)
+	if len(thr.Exceedances) > int(0.05*float64(n)) {
+		t.Errorf("scan kept %d exceedances, cap is %d", len(thr.Exceedances), int(0.05*float64(n)))
+	}
+	if len(thr.Exceedances) < 20 {
+		t.Errorf("scan kept %d exceedances, floor is 20", len(thr.Exceedances))
+	}
+	if thr.Linearity.R2 <= 0 {
+		t.Errorf("linearity diagnostic missing: %+v", thr.Linearity)
+	}
+}
+
+func TestSelectThresholdTooSmall(t *testing.T) {
+	xs := make([]float64, 50) // 5% of 50 = 2 < 20 minimum
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if _, err := SelectThreshold(xs, ThresholdOptions{}); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSelectThresholdCustomFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	thr, err := SelectThreshold(xs, ThresholdOptions{MaxExceedFraction: 0.2, MinExceedances: 30, Rule: RuleMaxFraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thr.Exceedances) < 30 || len(thr.Exceedances) > 100 {
+		t.Errorf("exceedances = %d", len(thr.Exceedances))
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	// A full pipeline run on data whose optimum we know: performance is
+	// bounded at exactly 1000 (GPD tail below it).
+	rng := rand.New(rand.NewSource(44))
+	tail := GPD{Xi: -0.35, Sigma: 30}
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 1000 - tail.Rand(rng) // reflect: right endpoint at 1000
+	}
+	rep, err := Analyze(xs, POTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 4000 {
+		t.Errorf("N = %d", rep.N)
+	}
+	if rep.Fit.GPD.Xi >= 0 {
+		t.Errorf("expected negative fitted shape, got %v", rep.Fit.GPD.Xi)
+	}
+	if rep.UPB.Point < rep.BestObs {
+		t.Errorf("UPB %v below best observation %v", rep.UPB.Point, rep.BestObs)
+	}
+	// The estimate should land near the true optimum 1000 (within ~1%).
+	if math.Abs(rep.UPB.Point-1000) > 10 {
+		t.Errorf("UPB point = %v, want ≈ 1000", rep.UPB.Point)
+	}
+	if !(rep.UPB.Lo <= rep.UPB.Point && rep.UPB.Point <= rep.UPB.Hi) {
+		t.Errorf("CI does not contain point: %+v", rep.UPB)
+	}
+	if rep.QQCorr < 0.98 {
+		t.Errorf("QQ correlation = %v, expected near 1", rep.QQCorr)
+	}
+	if rep.HeadroomPct < 0 || rep.HeadroomPct > 20 {
+		t.Errorf("headroom = %v%%", rep.HeadroomPct)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, POTOptions{}); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Analyze([]float64{1, 2, 3}, POTOptions{}); err == nil {
+		t.Error("tiny sample should error")
+	}
+}
+
+func TestAnalyzeReflectedBoundsProperty(t *testing.T) {
+	// For any bounded synthetic population the pipeline must return
+	// BestObs <= UPB.Point and a CI containing the point.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bound := 100 + rng.Float64()*1000
+		tail := GPD{Xi: -(0.15 + rng.Float64()*0.35), Sigma: bound * (0.01 + rng.Float64()*0.05)}
+		xs := make([]float64, 1200)
+		for i := range xs {
+			xs[i] = bound - tail.Rand(rng)
+		}
+		rep, err := Analyze(xs, POTOptions{})
+		if err != nil {
+			// An occasional positive-ξ̂ fit on unlucky draws is acceptable
+			// behaviour, not a property violation.
+			return errors.Is(err, ErrUnboundedTail)
+		}
+		return rep.BestObs <= rep.UPB.Point &&
+			rep.UPB.Lo <= rep.UPB.Point && rep.UPB.Point <= rep.UPB.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilePlotAndCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := GPD{Xi: -0.25, Sigma: 2}
+	ys := g.Sample(rng, 1000)
+	points := QuantilePlot(ys, g)
+	if len(points) != 1000 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Points are ordered in both coordinates.
+	for i := 1; i < len(points); i++ {
+		if points[i].Empirical < points[i-1].Empirical || points[i].Model < points[i-1].Model {
+			t.Fatal("QQ points not monotone")
+		}
+	}
+	if c := QQCorrelation(points); c < 0.995 {
+		t.Errorf("correlation = %v for data from the model itself", c)
+	}
+	// Mismatched model yields visibly lower correlation than the true one.
+	bad := QQCorrelation(QuantilePlot(ys, GPD{Xi: 0.9, Sigma: 0.1}))
+	good := QQCorrelation(points)
+	if !(bad <= good) {
+		t.Errorf("bad model correlation %v not below good %v", bad, good)
+	}
+	if !math.IsNaN(QQCorrelation(nil)) {
+		t.Error("empty correlation should be NaN")
+	}
+}

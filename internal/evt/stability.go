@@ -1,0 +1,69 @@
+package evt
+
+import "sort"
+
+// StabilityPoint is one threshold candidate of a parameter-stability scan.
+type StabilityPoint struct {
+	U           float64 // candidate threshold
+	Exceedances int
+	Xi          float64 // fitted shape at this threshold
+	Sigma       float64 // fitted scale
+	UPB         float64 // implied upper bound (NaN-free only when Xi < 0)
+	UPBValid    bool
+	FitErr      error // non-nil when the fit failed at this candidate
+}
+
+// StabilityScan fits the GPD at a grid of candidate thresholds — the
+// classic POT "parameter stability plot": where the fitted shape ξ̂ is
+// roughly constant in the threshold, the asymptotic regime has been
+// reached, and the implied upper bound barely moves. Practitioners read
+// this plot alongside the mean-excess plot (§3.3.2 Step 2); RuleAuto
+// automates the same judgement, and this function exposes the raw curve
+// for diagnostics, notebooks and the evtfit tool.
+//
+// Candidates keep between MinExceedances and MaxExceedFraction·n
+// observations, on a grid of at most `points` thresholds (default 20).
+func StabilityScan(xs []float64, opts ThresholdOptions, points int) ([]StabilityPoint, error) {
+	o := opts.withDefaults()
+	if points <= 0 {
+		points = 20
+	}
+	n := len(xs)
+	maxM := int(float64(n) * o.MaxExceedFraction)
+	if maxM < o.MinExceedances {
+		return nil, ErrSampleTooSmall
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	step := (maxM - o.MinExceedances) / points
+	if step < 1 {
+		step = 1
+	}
+	var out []StabilityPoint
+	for m := maxM; m >= o.MinExceedances; m -= step {
+		u := sorted[n-m-1]
+		i := sort.SearchFloat64s(sorted, u)
+		for i < n && sorted[i] == u {
+			i++
+		}
+		ys := make([]float64, 0, n-i)
+		for _, x := range sorted[i:] {
+			ys = append(ys, x-u)
+		}
+		pt := StabilityPoint{U: u, Exceedances: len(ys)}
+		fit, err := FitGPD(ys)
+		if err != nil {
+			pt.FitErr = err
+			out = append(out, pt)
+			continue
+		}
+		pt.Xi, pt.Sigma = fit.GPD.Xi, fit.GPD.Sigma
+		if fit.GPD.Xi < 0 {
+			pt.UPB = u + fit.GPD.RightEndpoint()
+			pt.UPBValid = true
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package evt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStabilityScanOnThresholdStableData(t *testing.T) {
+	// A GPD sample is threshold-stable: ξ̂ should hover near the true
+	// shape at every candidate threshold, and the implied UPB near the
+	// true endpoint.
+	truth := GPD{Xi: -0.3, Sigma: 3} // endpoint 10
+	rng := rand.New(rand.NewSource(8))
+	xs := truth.Sample(rng, 20000)
+	pts, err := StabilityScan(xs, ThresholdOptions{MaxExceedFraction: 0.2}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	valid := 0
+	for _, p := range pts {
+		if p.FitErr != nil {
+			continue
+		}
+		valid++
+		// MLE sampling noise grows as exceedances shrink: allow
+		// ~4 asymptotic standard errors, (1−ξ)/√m each.
+		tol := 4 * (1 - truth.Xi) / math.Sqrt(float64(p.Exceedances))
+		if math.Abs(p.Xi-truth.Xi) > tol {
+			t.Errorf("u=%v (m=%d): ξ̂ = %v farther than %v from %v", p.U, p.Exceedances, p.Xi, tol, truth.Xi)
+		}
+		if p.UPBValid && p.Exceedances >= 100 && math.Abs(p.UPB-truth.RightEndpoint()) > 1.5 {
+			t.Errorf("u=%v: UPB %v far from %v", p.U, p.UPB, truth.RightEndpoint())
+		}
+	}
+	if valid < len(pts)*3/4 {
+		t.Errorf("only %d of %d candidates fitted", valid, len(pts))
+	}
+	// Exceedance counts decrease along the scan (thresholds increase).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Exceedances >= pts[i-1].Exceedances {
+			t.Fatal("scan not ordered by increasing threshold")
+		}
+	}
+}
+
+func TestStabilityScanErrors(t *testing.T) {
+	if _, err := StabilityScan(make([]float64, 10), ThresholdOptions{}, 5); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v", err)
+	}
+	// Degenerate points parameter is repaired.
+	rng := rand.New(rand.NewSource(9))
+	xs := (GPD{Xi: -0.2, Sigma: 1}).Sample(rng, 2000)
+	pts, err := StabilityScan(xs, ThresholdOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Error("no points")
+	}
+}

@@ -1,0 +1,169 @@
+package evt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ThresholdRule selects how the POT threshold u is chosen.
+type ThresholdRule int
+
+const (
+	// RuleAuto (the default) scans candidate thresholds between
+	// MinExceedances and MaxExceedFraction·n, fits a GPD at each, and
+	// keeps the threshold whose fit has the straightest quantile plot,
+	// preferring fits with ξ < 0 (the finite-endpoint regime the method
+	// needs) and, among near-ties, more exceedances (tighter confidence
+	// intervals, §5.2). This automates the paper's §3.3.2 Step 2 judgment
+	// — "mean excess plot roughly linear", "quantile plot close to a
+	// straight line" — under the 5% exceedance cap.
+	RuleAuto ThresholdRule = iota
+	// RuleMaxFraction takes u so that exactly MaxExceedFraction of the
+	// sample exceeds it — the paper's cap applied directly, with no scan.
+	RuleMaxFraction
+	// RuleLinearityScan scans the same candidates as RuleAuto but scores
+	// them only by the mean-excess-plot linearity (R²), without fitting.
+	// Cheaper, used as an ablation baseline.
+	RuleLinearityScan
+)
+
+// ThresholdOptions tunes threshold selection. The zero value selects the
+// paper defaults: fit-scored scan, 5% maximum exceedance fraction, at least
+// 20 exceedances.
+type ThresholdOptions struct {
+	MaxExceedFraction float64       // default 0.05
+	MinExceedances    int           // default 20
+	Rule              ThresholdRule // default RuleAuto
+}
+
+func (o ThresholdOptions) withDefaults() ThresholdOptions {
+	if o.MaxExceedFraction <= 0 || o.MaxExceedFraction >= 1 {
+		o.MaxExceedFraction = 0.05
+	}
+	if o.MinExceedances <= 0 {
+		o.MinExceedances = 20
+	}
+	return o
+}
+
+// Threshold is a selected POT threshold with its exceedances and
+// diagnostics of the tail above it.
+type Threshold struct {
+	U           float64   // the threshold
+	Exceedances []float64 // y_i = x_i − u for x_i > u, ascending
+	Linearity   LinearFit // mean-excess line fit over points ≥ u
+	QQCorr      float64   // quantile-plot straightness of the GPD fit (RuleAuto)
+}
+
+// SelectThreshold chooses a POT threshold for the raw sample xs.
+//
+// Candidate thresholds are order statistics; the candidate keeping m
+// observations above it is u = x_(n−m). The number of exceedances is capped
+// at MaxExceedFraction·n to avoid biasing the GPD toward the body of the
+// distribution, and floored at MinExceedances so the fit has enough data.
+func SelectThreshold(xs []float64, opts ThresholdOptions) (Threshold, error) {
+	o := opts.withDefaults()
+	n := len(xs)
+	maxM := int(float64(n) * o.MaxExceedFraction)
+	if maxM < o.MinExceedances {
+		return Threshold{}, fmt.Errorf("%w: %d observations allow at most %d exceedances at fraction %.3f, need >= %d",
+			ErrSampleTooSmall, n, maxM, o.MaxExceedFraction, o.MinExceedances)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	mePoints, err := MeanExcess(sorted)
+	if err != nil {
+		return Threshold{}, err
+	}
+
+	build := func(m int) (Threshold, error) {
+		u := sorted[n-m-1]
+		// Ties can make the actual exceedance count differ from m; recount.
+		i := sort.SearchFloat64s(sorted, u)
+		for i < n && sorted[i] == u {
+			i++
+		}
+		ys := make([]float64, 0, n-i)
+		for _, x := range sorted[i:] {
+			ys = append(ys, x-u)
+		}
+		if len(ys) < o.MinExceedances {
+			return Threshold{}, fmt.Errorf("%w: only %d exceedances above u=%v", ErrSampleTooSmall, len(ys), u)
+		}
+		lin, err := MeanExcessLinearity(mePoints, u)
+		if err != nil {
+			lin = LinearFit{}
+		}
+		return Threshold{U: u, Exceedances: ys, Linearity: lin}, nil
+	}
+
+	if o.Rule == RuleMaxFraction {
+		return build(maxM)
+	}
+
+	// Scan a coarse grid of exceedance counts (scores vary smoothly, so
+	// ~16 candidates suffice and keep the repeated GPD fits cheap).
+	step := (maxM - o.MinExceedances) / 15
+	if step < 1 {
+		step = 1
+	}
+	type candidate struct {
+		thr     Threshold
+		score   float64
+		bounded bool // fitted ξ < 0
+	}
+	var cands []candidate
+	for m := maxM; m >= o.MinExceedances; m -= step {
+		cand, err := build(m)
+		if err != nil {
+			continue
+		}
+		switch o.Rule {
+		case RuleLinearityScan:
+			cands = append(cands, candidate{thr: cand, score: cand.Linearity.R2, bounded: true})
+		default: // RuleAuto
+			fit, err := FitGPD(cand.Exceedances)
+			if err != nil {
+				continue
+			}
+			cand.QQCorr = QQCorrelation(QuantilePlot(cand.Exceedances, fit.GPD))
+			cands = append(cands, candidate{thr: cand, score: cand.QQCorr, bounded: fit.GPD.Xi < 0})
+		}
+	}
+	if len(cands) == 0 {
+		return build(maxM)
+	}
+	// Bounded fits take absolute precedence: an unbounded (ξ >= 0) fit
+	// cannot produce an upper performance bound no matter how straight its
+	// quantile plot is.
+	pool := cands[:0:0]
+	for _, c := range cands {
+		if c.bounded {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) == 0 {
+		pool = cands
+	}
+	bestScore := pool[0].score
+	for _, c := range pool[1:] {
+		if c.score > bestScore {
+			bestScore = c.score
+		}
+	}
+	// Among near-ties on the score, prefer the candidate with the most
+	// exceedances — more tail data tightens the confidence interval.
+	const tie = 0.004
+	var best *candidate
+	for i := range pool {
+		c := &pool[i]
+		if c.score < bestScore-tie {
+			continue
+		}
+		if best == nil || len(c.thr.Exceedances) > len(best.thr.Exceedances) {
+			best = c
+		}
+	}
+	return best.thr, nil
+}

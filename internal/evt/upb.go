@@ -1,0 +1,174 @@
+package evt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"optassign/internal/optimize"
+	"optassign/internal/stats"
+)
+
+// ErrUnboundedTail reports a fitted shape ξ >= 0, for which the GPD has no
+// finite right endpoint and the optimal performance cannot be bounded. On a
+// real (finite) system the paper observes ξ̂ < 0 always; hitting this error
+// usually means the threshold kept too few or too unstructured exceedances.
+var ErrUnboundedTail = errors.New("evt: fitted shape ξ >= 0, upper bound undefined")
+
+// UPBPoint returns the point estimate of the Upper Performance Bound
+// (the paper's ÛPB = u − σ̂/ξ̂) for a threshold u and a fitted GPD with
+// ξ < 0.
+func UPBPoint(u float64, g GPD) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if g.Xi >= 0 {
+		return 0, ErrUnboundedTail
+	}
+	return u + g.RightEndpoint(), nil
+}
+
+// UPBInterval is an estimated optimal system performance with its
+// likelihood-ratio confidence interval.
+type UPBInterval struct {
+	Point      float64 // ÛPB = u − σ̂/ξ̂
+	Lo, Hi     float64 // confidence interval bounds (Hi may be +Inf)
+	Confidence float64 // e.g. 0.95
+}
+
+// ProfileLogLikelihood returns L*(UPB) = max_ξ L(ξ, UPB | y), the profile
+// log-likelihood of the reparameterized GPD
+//
+//	L(ξ, UPB|y) = −m·log(−ξ(UPB−u)) − (1 + 1/ξ)·Σ log(1 − y_i/(UPB−u))
+//
+// (§3.3.2 Step 4), maximized over ξ ∈ (−1, 0) by golden-section search. It
+// also returns the maximizing ξ. UPB must exceed u + max(y); otherwise the
+// data would be outside the support and −Inf is returned.
+func ProfileLogLikelihood(u float64, ys []float64, upb float64) (ll, xiHat float64) {
+	m := float64(len(ys))
+	endpoint := upb - u
+	maxY := stats.MustMax(ys)
+	if endpoint <= maxY {
+		return math.Inf(-1), math.NaN()
+	}
+	// Pre-compute Σ log(1 − y/E); it does not depend on ξ.
+	var sumLog float64
+	for _, y := range ys {
+		sumLog += math.Log1p(-y / endpoint)
+	}
+	negLL := func(xi float64) float64 {
+		if xi >= -1e-9 || xi <= xiFloor {
+			return math.Inf(1)
+		}
+		return m*math.Log(-xi*endpoint) + (1+1/xi)*sumLog
+	}
+	xiHat, neg := optimize.GoldenSection(negLL, xiFloor, -1e-9, 1e-12)
+	return -neg, xiHat
+}
+
+// UPBConfidenceInterval computes the (1−alpha) likelihood-ratio confidence
+// interval for the Upper Performance Bound using Wilks' theorem: the
+// interval contains every UPB with
+//
+//	L(ξ̂, ÛPB) − L*(UPB) < ½·χ²_{(1−α),1}
+//
+// (the paper's Equation 1). u is the POT threshold, ys the exceedances, and
+// fit the maximum-likelihood GPD fit from FitGPD.
+func UPBConfidenceInterval(u float64, ys []float64, fit Fit, alpha float64) (UPBInterval, error) {
+	if len(ys) == 0 {
+		return UPBInterval{}, ErrSampleTooSmall
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return UPBInterval{}, fmt.Errorf("evt: confidence alpha must be in (0,1), got %v", alpha)
+	}
+	point, err := UPBPoint(u, fit.GPD)
+	if err != nil {
+		return UPBInterval{}, err
+	}
+	chi2, err := stats.Chi2Quantile1DF(alpha)
+	if err != nil {
+		return UPBInterval{}, err
+	}
+
+	// The profile maximum can exceed the 2-parameter fit's likelihood
+	// slightly if Nelder-Mead stopped early; use the larger as L_max so the
+	// interval always contains the point estimate.
+	lmax := fit.LogLikelihood
+	if pl, _ := ProfileLogLikelihood(u, ys, point); pl > lmax {
+		lmax = pl
+	}
+	cut := lmax - chi2/2
+	h := func(upb float64) float64 {
+		pl, _ := ProfileLogLikelihood(u, ys, upb)
+		return pl - cut
+	}
+
+	maxObs := u + stats.MustMax(ys)
+	iv := UPBInterval{Point: point, Confidence: 1 - alpha}
+
+	// Lower bound: between the largest observation (where the profile
+	// plunges to −∞) and the point estimate. The best observed performance
+	// is always a valid lower bound for the optimum, so fall back to it if
+	// the bracket degenerates numerically.
+	loBracket := maxObs * (1 + 1e-12)
+	if h(loBracket) >= 0 || point <= loBracket {
+		iv.Lo = maxObs
+	} else {
+		lo, err := optimize.Bisect(h, loBracket, point, (point-loBracket)*1e-9)
+		if err != nil {
+			iv.Lo = maxObs
+		} else {
+			iv.Lo = lo
+		}
+	}
+
+	// Upper bound: expand geometrically beyond the point estimate until the
+	// profile drops below the cut, then bisect. If it never drops (shape
+	// indistinguishable from ξ=0 at this confidence), the bound is +Inf.
+	span := point - u
+	if span <= 0 {
+		span = math.Max(1, math.Abs(point))
+	}
+	hi := point
+	found := false
+	for k := 0; k < 60; k++ {
+		hi = point + span*math.Pow(2, float64(k))
+		if h(hi) < 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		iv.Hi = math.Inf(1)
+	} else {
+		x, err := optimize.Bisect(h, point, hi, (hi-point)*1e-9)
+		if err != nil {
+			iv.Hi = hi
+		} else {
+			iv.Hi = x
+		}
+	}
+	// When the likelihood-ratio test cannot reject ξ = 0 the profile drops
+	// below the cut only at astronomically large UPB values; such a bound
+	// carries no information, so report it as unbounded.
+	if iv.Hi > point+1000*span {
+		iv.Hi = math.Inf(1)
+	}
+	return iv, nil
+}
+
+// ProfileCurve samples L*(UPB) at n points across [lo, hi]; it reproduces
+// Figure 7. Values of UPB at or below u + max(y) yield −Inf.
+func ProfileCurve(u float64, ys []float64, lo, hi float64, n int) (upbs, lls []float64) {
+	if n < 2 {
+		n = 2
+	}
+	upbs = make([]float64, n)
+	lls = make([]float64, n)
+	for i := 0; i < n; i++ {
+		upb := lo + (hi-lo)*float64(i)/float64(n-1)
+		upbs[i] = upb
+		lls[i], _ = ProfileLogLikelihood(u, ys, upb)
+	}
+	return upbs, lls
+}

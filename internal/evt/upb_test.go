@@ -1,0 +1,187 @@
+package evt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUPBPoint(t *testing.T) {
+	got, err := UPBPoint(10, GPD{Xi: -0.5, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 { // 10 − 1/(−0.5)
+		t.Errorf("UPB = %v, want 12", got)
+	}
+	if _, err := UPBPoint(10, GPD{Xi: 0.1, Sigma: 1}); !errors.Is(err, ErrUnboundedTail) {
+		t.Errorf("err = %v, want ErrUnboundedTail", err)
+	}
+	if _, err := UPBPoint(10, GPD{Xi: -0.5, Sigma: -1}); err == nil {
+		t.Error("invalid scale should error")
+	}
+}
+
+func TestProfileLogLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	truth := GPD{Xi: -0.3, Sigma: 1}
+	ys := truth.Sample(rng, 1000)
+	u := 100.0 // arbitrary threshold offset; profile works on exceedances
+
+	fit, err := FitGPD(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, err := UPBPoint(u, fit.GPD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// At the MLE's implied endpoint the profile equals the full MLE logL.
+	pl, xiHat := ProfileLogLikelihood(u, ys, point)
+	if math.Abs(pl-fit.LogLikelihood) > 1e-3*math.Abs(fit.LogLikelihood)+1e-3 {
+		t.Errorf("profile at point = %v, full MLE logL = %v", pl, fit.LogLikelihood)
+	}
+	if math.Abs(xiHat-fit.GPD.Xi) > 0.02 {
+		t.Errorf("profile ξ̂ = %v, fit ξ̂ = %v", xiHat, fit.GPD.Xi)
+	}
+
+	// Below the sample maximum the profile is −Inf.
+	maxY := 0.0
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if pl, _ := ProfileLogLikelihood(u, ys, u+maxY*0.99); !math.IsInf(pl, -1) {
+		t.Errorf("profile below max obs = %v, want -Inf", pl)
+	}
+
+	// The profile is maximized near the point estimate: values to either
+	// side are no larger.
+	left, _ := ProfileLogLikelihood(u, ys, u+maxY+(point-u-maxY)*0.2)
+	right, _ := ProfileLogLikelihood(u, ys, point+3*(point-u))
+	if left > pl+1e-6 || right > pl+1e-6 {
+		t.Errorf("profile not maximal at point: left=%v at-point=%v right=%v", left, pl, right)
+	}
+}
+
+func TestUPBConfidenceIntervalBracketsTruth(t *testing.T) {
+	// Exceedances drawn from a GPD with a known endpoint; the CI should
+	// usually contain the true endpoint and always contain the point
+	// estimate, with the best observation as a hard lower bound.
+	truth := GPD{Xi: -0.25, Sigma: 1} // endpoint 4
+	u := 50.0
+	trueUPB := u + truth.RightEndpoint()
+
+	contains := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		ys := truth.Sample(rng, 1500)
+		fit, err := FitGPD(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := UPBConfidenceInterval(u, ys, fit, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxObs := u
+		for _, y := range ys {
+			if u+y > maxObs {
+				maxObs = u + y
+			}
+		}
+		if iv.Lo < maxObs-1e-9 {
+			t.Errorf("trial %d: CI lower bound %v below best observation %v", trial, iv.Lo, maxObs)
+		}
+		if !(iv.Lo <= iv.Point && iv.Point <= iv.Hi) {
+			t.Errorf("trial %d: point %v outside CI [%v, %v]", trial, iv.Point, iv.Lo, iv.Hi)
+		}
+		if iv.Confidence != 0.95 {
+			t.Errorf("confidence = %v", iv.Confidence)
+		}
+		if iv.Lo <= trueUPB && trueUPB <= iv.Hi {
+			contains++
+		}
+	}
+	// Nominal coverage is 95%; with 20 deterministic seeds we demand a
+	// clear majority to catch gross miscalibration without flakiness.
+	if contains < 15 {
+		t.Errorf("CI contained the true endpoint in only %d/%d trials", contains, trials)
+	}
+}
+
+func TestUPBConfidenceIntervalNarrowsWithSampleSize(t *testing.T) {
+	// Figure 11's headline behaviour: more exceedances → tighter interval.
+	truth := GPD{Xi: -0.3, Sigma: 2}
+	u := 10.0
+	width := func(n int) float64 {
+		rng := rand.New(rand.NewSource(99))
+		ys := truth.Sample(rng, n)
+		fit, err := FitGPD(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := UPBConfidenceInterval(u, ys, fit, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(iv.Hi, 1) {
+			t.Fatalf("unbounded CI for n=%d", n)
+		}
+		return iv.Hi - iv.Lo
+	}
+	// n=50 exceedances cannot reject ξ=0 at this shape, so the smallest
+	// usable sample here is 250.
+	w250, w1000, w4000 := width(250), width(1000), width(4000)
+	if !(w4000 < w1000 && w1000 < w250) {
+		t.Errorf("widths did not shrink: n=250→%v n=1000→%v n=4000→%v", w250, w1000, w4000)
+	}
+}
+
+func TestUPBConfidenceIntervalErrors(t *testing.T) {
+	fit := Fit{GPD: GPD{Xi: -0.5, Sigma: 1}}
+	if _, err := UPBConfidenceInterval(0, nil, fit, 0.05); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := UPBConfidenceInterval(0, []float64{1}, fit, 0); err == nil {
+		t.Error("alpha=0 should error")
+	}
+	if _, err := UPBConfidenceInterval(0, []float64{1}, Fit{GPD: GPD{Xi: 0.1, Sigma: 1}}, 0.05); !errors.Is(err, ErrUnboundedTail) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProfileCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	truth := GPD{Xi: -0.3, Sigma: 1}
+	ys := truth.Sample(rng, 800)
+	u := 5.0
+	fit, err := FitGPD(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, _ := UPBPoint(u, fit.GPD)
+	upbs, lls := ProfileCurve(u, ys, point*0.98, point*1.2, 41)
+	if len(upbs) != 41 || len(lls) != 41 {
+		t.Fatalf("curve lengths %d %d", len(upbs), len(lls))
+	}
+	// The curve's maximum should be close to the point estimate.
+	bi := 0
+	for i, ll := range lls {
+		if ll > lls[bi] {
+			bi = i
+		}
+	}
+	if math.Abs(upbs[bi]-point) > (upbs[1]-upbs[0])*4+1e-9 {
+		t.Errorf("profile curve max at %v, point estimate %v", upbs[bi], point)
+	}
+	// Degenerate n is repaired.
+	upbs, _ = ProfileCurve(u, ys, point, point*1.1, 1)
+	if len(upbs) != 2 {
+		t.Errorf("n=1 should become 2 points, got %d", len(upbs))
+	}
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"optassign/internal/core"
+)
+
+// TestCaptureProbabilityHoldsOnRealPopulation closes the loop on §3.1: the
+// formula P(A) = 1 − ((100−P)/100)^n is derived for sampling with
+// replacement from a large population; here we check it *empirically* on
+// the actual 1526-assignment population of the 6-thread IPFwd-intadd
+// workload, top-P% defined by measured performance.
+func TestCaptureProbabilityHoldsOnRealPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("empirical capture study is slow")
+	}
+	env := NewEnv(1)
+	r, err := Figure3(env) // exhaustive population, sorted inside the ECDF
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfs := r.ECDF.Sorted()
+	n := len(perfs)
+
+	for _, topPct := range []float64{5, 10, 25} {
+		// The population is small (1526), so top-P% is an exact cutoff.
+		k := int(math.Ceil(float64(n) * topPct / 100))
+		cutoff := perfs[n-k]
+
+		for _, sample := range []int{10, 40} {
+			want, err := core.CaptureProbability(sample, topPct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(1000*sample) + int64(topPct)))
+			const trials = 2000
+			captured := 0
+			for trial := 0; trial < trials; trial++ {
+				hit := false
+				for i := 0; i < sample; i++ {
+					// Sampling with replacement from the population.
+					if perfs[rng.Intn(n)] >= cutoff {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					captured++
+				}
+			}
+			got := float64(captured) / trials
+			// Binomial noise at 2000 trials: ~3σ ≈ 0.035.
+			if math.Abs(got-want) > 0.04 {
+				t.Errorf("P=%v%% n=%d: empirical capture %v vs formula %v", topPct, sample, got, want)
+			}
+		}
+	}
+}
+
+// TestTopPercentIsNearOptimal validates the method's premise on the real
+// population: assignments in the top 1% are within a whisker of the true
+// optimum (the paper's §3.2 observation that motivates random sampling).
+func TestTopPercentIsNearOptimal(t *testing.T) {
+	env := NewEnv(1)
+	r, err := Figure3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfs := r.ECDF.Sorted()
+	n := len(perfs)
+	sorted := append([]float64(nil), perfs...)
+	sort.Float64s(sorted)
+	top1 := sorted[n-int(math.Ceil(float64(n)/100))]
+	opt := sorted[n-1]
+	if loss := (opt - top1) / opt * 100; loss > 2 {
+		t.Errorf("worst of the top 1%% loses %.2f%% vs the optimum — premise violated", loss)
+	}
+}

@@ -1,0 +1,367 @@
+package exp
+
+import (
+	"bytes"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaperAnchors(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table1Tasks) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §2's worked anchor: 3 tasks → 11 assignments, executing all takes 11 s.
+	if rows[0].Tasks != 3 || rows[0].Assignments.Cmp(big.NewInt(11)) != 0 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if !strings.Contains(rows[0].ExecuteAll, "s") {
+		t.Errorf("ExecuteAll = %q", rows[0].ExecuteAll)
+	}
+	// 6 tasks → 1526 ("around 1500").
+	if rows[1].Assignments.Cmp(big.NewInt(1526)) != 0 {
+		t.Errorf("6-task count = %v", rows[1].Assignments)
+	}
+	// Growth: every row larger than the last; the 60-task row is
+	// astronomic and both durations are reported in years.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Assignments.Cmp(rows[i-1].Assignments) <= 0 {
+			t.Errorf("row %d not larger than predecessor", i)
+		}
+	}
+	last := rows[len(rows)-1]
+	if !strings.Contains(last.ExecuteAll, "years") || !strings.Contains(last.PredictAll, "years") {
+		t.Errorf("60-task durations = %q / %q", last.ExecuteAll, last.PredictAll)
+	}
+	// Paper: executing all 9-task assignments takes ~7 days; ours must be
+	// in the days range too (same combinatorial model).
+	if !strings.Contains(rows[2].ExecuteAll, "days") {
+		t.Errorf("9-task ExecuteAll = %q", rows[2].ExecuteAll)
+	}
+
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "11") {
+		t.Errorf("rendered table:\n%s", out)
+	}
+}
+
+func TestHumanizeSeconds(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0.0001, "ms"},
+		{30, "s"},
+		{120, "min"},
+		{7200, "hours"},
+		{200000, "days"},
+		{1e9, "years"},
+	}
+	for _, c := range cases {
+		got := humanizeSeconds(big.NewFloat(c.sec))
+		if !strings.Contains(got, c.want) {
+			t.Errorf("humanizeSeconds(%v) = %q, want unit %q", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestFigure1ShapeMatchesPaper(t *testing.T) {
+	env := NewEnv(1)
+	rows, err := Figure1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Figure1Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		// Ordering that motivates the paper: naive <= linux <= optimal.
+		if !(r.NaivePPS < r.OptimalPPS) {
+			t.Errorf("%s: naive %v not below optimal %v", r.Benchmark, r.NaivePPS, r.OptimalPPS)
+		}
+		if !(r.LinuxPPS < r.OptimalPPS) {
+			t.Errorf("%s: linux %v not below optimal %v", r.Benchmark, r.LinuxPPS, r.OptimalPPS)
+		}
+		if r.Population != 1526 {
+			t.Errorf("%s: population %d, want 1526", r.Benchmark, r.Population)
+		}
+	}
+	add, mul := byName["IPFwd-intadd"], byName["IPFwd-intmul"]
+	// The paper's punchline: intadd has the larger naive→optimal headroom.
+	if !(add.NaiveGapPP > mul.NaiveGapPP) {
+		t.Errorf("intadd headroom %.1f%% should exceed intmul %.1f%%", add.NaiveGapPP, mul.NaiveGapPP)
+	}
+
+	var buf bytes.Buffer
+	PrintFigure1(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure2CurvesAnchors(t *testing.T) {
+	curves, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 5 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, c := range curves {
+		last := c.Points[len(c.Points)-1]
+		if last.N < 9000 || last.Prob < 0.999 {
+			t.Errorf("P=%v%%: final point %+v should be ≈1", c.TopPct, last)
+		}
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Prob < c.Points[i-1].Prob {
+				t.Errorf("P=%v%%: non-monotone curve", c.TopPct)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure2(&buf, curves)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	env := NewEnv(1)
+	r, err := Figure3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ECDF.Len() != 1526 {
+		t.Errorf("population = %d", r.ECDF.Len())
+	}
+	if r.WorstLossPct < 5 || r.WorstLossPct > 70 {
+		t.Errorf("worst-case loss %.1f%% out of band", r.WorstLossPct)
+	}
+	// §3.2: the spread within the top 1% is small compared to the full
+	// spread.
+	if r.Top1SpreadPct > r.WorstLossPct/3 {
+		t.Errorf("top-1%% spread %.2f%% not small vs %.1f%%", r.Top1SpreadPct, r.WorstLossPct)
+	}
+	var buf bytes.Buffer
+	PrintFigure3(&buf, r)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure45(t *testing.T) {
+	r, err := Figure45(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Exceedances) < 20 {
+		t.Errorf("exceedances = %d", len(r.Exceedances))
+	}
+	// The fitted CDF should track the empirical one closely.
+	for i := range r.Grid {
+		if d := r.ExcessECDF[i] - r.FittedCDF[i]; d > 0.15 || d < -0.15 {
+			t.Errorf("fit deviates by %.2f at y=%.3g", d, r.Grid[i])
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure45(&buf, r)
+	if !strings.Contains(buf.String(), "Figures 4/5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigures6And7ShareTheSample(t *testing.T) {
+	env := NewEnv(1)
+	r6, err := Figure6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r6.Sorted) != Figure6Sample {
+		t.Errorf("sample = %d", len(r6.Sorted))
+	}
+	// Sorted ascending; threshold leaves at most 5% above.
+	for i := 1; i < len(r6.Sorted); i++ {
+		if r6.Sorted[i] < r6.Sorted[i-1] {
+			t.Fatal("sample not sorted")
+		}
+	}
+	if n := len(r6.Threshold.Exceedances); n < 20 || n > Figure6Sample/20 {
+		t.Errorf("exceedances = %d", n)
+	}
+
+	r7, err := Figure7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r7.Interval.Lo <= r7.Interval.Point && r7.Interval.Point <= r7.Interval.Hi) {
+		t.Errorf("interval %+v", r7.Interval)
+	}
+	// The profile maximum along the curve sits above the cut.
+	maxLL := r7.Profile[0]
+	for _, ll := range r7.Profile {
+		if ll > maxLL {
+			maxLL = ll
+		}
+	}
+	if maxLL < r7.Cut {
+		t.Errorf("profile max %v below cut %v", maxLL, r7.Cut)
+	}
+	var buf bytes.Buffer
+	PrintFigure6(&buf, r6)
+	PrintFigure7(&buf, r7)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6a") || !strings.Contains(out, "Figure 7") {
+		t.Error("render missing titles")
+	}
+}
+
+func TestEstimationStudyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimation study is slow")
+	}
+	env := NewEnv(1)
+	cells, err := EstimationStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(SuiteNames)*len(ResultSampleSizes) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, name := range SuiteNames {
+		c1, c5 := cellFor(cells, name, 1000), cellFor(cells, name, 5000)
+		if c1 == nil || c5 == nil {
+			t.Fatalf("%s: missing cells", name)
+		}
+		// Figure 10's conclusion: 1000→5000 improves the captured best
+		// only marginally (paper: at most 0.6%; we allow 2%).
+		gain := (c5.BestObs - c1.BestObs) / c1.BestObs * 100
+		if gain < -0.01 || gain > 2 {
+			t.Errorf("%s: best-in-sample gain %.2f%% out of band", name, gain)
+		}
+		if !c5.Estimable {
+			t.Errorf("%s: n=5000 must be estimable", name)
+			continue
+		}
+		if c5.BestObs > c5.Optimal {
+			t.Errorf("%s: best %.0f above estimate %.0f", name, c5.BestObs, c5.Optimal)
+		}
+		// Figure 12's conclusion: at n=5000 the best sampled assignment is
+		// close to the estimated optimum (paper: ≤ 2.4%; we allow 6%).
+		if c5.Headroom > 6 {
+			t.Errorf("%s: headroom at 5000 = %.2f%%", name, c5.Headroom)
+		}
+		// Figure 11's conclusion: the CI narrows as the sample grows
+		// (compare against n=1000 when that cell was estimable).
+		if c1.Estimable && c5.Estimable {
+			w1, w5 := c1.Hi-c1.Lo, c5.Hi-c5.Lo
+			if w5 > w1*1.5 {
+				t.Errorf("%s: CI widened with sample size: %.0f → %.0f", name, w1, w5)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure10(&buf, cells)
+	PrintFigure11(&buf, cells)
+	PrintFigure12(&buf, cells)
+	out := buf.String()
+	for _, want := range []string{"Figure 10", "Figure 11", "Figure 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %s", want)
+		}
+	}
+}
+
+func TestFigure14Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("iterative study is slow")
+	}
+	env := NewEnv(1)
+	cells, err := Figure14(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(SuiteNames)*len(Figure14Losses) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, name := range SuiteNames {
+		var at25, at10 *Figure14Cell
+		for i := range cells {
+			if cells[i].Benchmark != name {
+				continue
+			}
+			switch cells[i].LossPct {
+			case 2.5:
+				at25 = &cells[i]
+			case 10:
+				at10 = &cells[i]
+			}
+		}
+		if at25 == nil || at10 == nil {
+			t.Fatalf("%s: missing loss cells", name)
+		}
+		// Looser requirements need no more samples than tighter ones.
+		if at10.Samples > at25.Samples {
+			t.Errorf("%s: 10%% loss needed %d samples but 2.5%% needed %d",
+				name, at10.Samples, at25.Samples)
+		}
+		// The paper's 10%-loss headline: well under ~1300 assignments.
+		if at10.Satisfied && at10.Samples > 2000 {
+			t.Errorf("%s: 10%% loss took %d samples", name, at10.Samples)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure14(&buf, cells)
+	if !strings.Contains(buf.String(), "Figure 14") {
+		t.Error("render missing title")
+	}
+}
+
+func TestEnvUnknownBenchmark(t *testing.T) {
+	env := NewEnv(1)
+	if _, err := env.Testbed("nope", 2); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSamplePrefixProperty(t *testing.T) {
+	env := NewEnv(1)
+	small, err := env.Sample("IPFwd-L1", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := env.Sample("IPFwd-L1", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		if small[i].Perf != big[i].Perf {
+			t.Fatalf("sample %d differs between prefix requests", i)
+		}
+	}
+}
+
+func TestPlotHelpersDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	PlotXY(&buf, "empty", nil, 0, 0)
+	if !strings.Contains(buf.String(), "no finite data") {
+		t.Error("empty plot not handled")
+	}
+	buf.Reset()
+	PlotXY(&buf, "flat", []Series{{Name: "s", Xs: []float64{1, 2}, Ys: []float64{5, 5}}}, 20, 5)
+	if buf.Len() == 0 {
+		t.Error("flat plot empty")
+	}
+	buf.Reset()
+	PlotBars(&buf, "zero", "u", []BarGroup{{Label: "g", Bars: []Bar{{Name: "b"}}}}, 0)
+	if buf.Len() == 0 {
+		t.Error("zero bars empty")
+	}
+}

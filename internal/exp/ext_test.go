@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSchedulerStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduler study is slow")
+	}
+	env := NewEnv(1)
+	cells, err := SchedulerStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perBench = 6 // naive, linux, greedy, best-of-N, local search, optimum
+	if len(cells) != len(SuiteNames)*perBench {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byKey := map[string]SchedulerCell{}
+	for _, c := range cells {
+		byKey[c.Benchmark+"/"+c.Scheduler] = c
+	}
+	for _, name := range SuiteNames {
+		naive := byKey[name+"/Naive (expected)"]
+		linux := byKey[name+"/Linux-like"]
+		greedy := byKey[name+"/Greedy-demand"]
+		boN := byKey[name+"/Best-of-1000"]
+		search := byKey[name+"/Local-search-1000"]
+		opt := byKey[name+"/Estimated optimum"]
+
+		// The motivating ordering: informed schedulers beat naive; the
+		// search-based ones beat the static ones; nobody beats the
+		// estimated optimum by more than estimation error.
+		if !(linux.PPS > naive.PPS) {
+			t.Errorf("%s: Linux-like %v not above naive %v", name, linux.PPS, naive.PPS)
+		}
+		if !(greedy.PPS >= linux.PPS*0.99) {
+			t.Errorf("%s: greedy %v clearly below Linux-like %v", name, greedy.PPS, linux.PPS)
+		}
+		if !(boN.PPS >= linux.PPS) {
+			t.Errorf("%s: best-of-1000 %v below Linux-like %v", name, boN.PPS, linux.PPS)
+		}
+		if !(search.PPS >= linux.PPS) {
+			t.Errorf("%s: local search %v below its Linux-like start %v", name, search.PPS, linux.PPS)
+		}
+		for _, c := range []SchedulerCell{naive, linux, greedy, boN, search} {
+			if c.LossPct < -2 {
+				t.Errorf("%s/%s: loss %v%% — scheduler 'beat' the estimated optimum by too much",
+					c.Benchmark, c.Scheduler, c.LossPct)
+			}
+		}
+		if opt.LossPct != 0 {
+			t.Errorf("%s: optimum row loss = %v", name, opt.LossPct)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSchedulerStudy(&buf, cells)
+	if !strings.Contains(buf.String(), "Greedy-demand") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPredictorStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("predictor study is slow")
+	}
+	env := NewEnv(1)
+	cells, err := PredictorStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(PredictorStudyBenchmarks)*len(PredictorErrorLevels) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if math.IsNaN(c.Predicted) {
+			continue // estimation can legitimately fail on noisy predictions
+		}
+		// The integrated estimate tracks the measured one within a modest
+		// multiple of the predictor's error scale.
+		allowance := 5 + c.RelError*400 // percent
+		if c.DeltaPct > allowance {
+			t.Errorf("%s at err %.0f%%: estimates differ by %.1f%% (> %.1f%%)",
+				c.Benchmark, c.RelError*100, c.DeltaPct, allowance)
+		}
+		// The predictor's chosen assignment is genuinely good when
+		// executed for real.
+		if c.PickAgreePct < 95 {
+			t.Errorf("%s at err %.0f%%: predictor's pick only %.1f%% of measured best",
+				c.Benchmark, c.RelError*100, c.PickAgreePct)
+		}
+	}
+	var buf bytes.Buffer
+	PrintPredictorStudy(&buf, cells)
+	if !strings.Contains(buf.String(), "predicted est") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblationStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation study is slow")
+	}
+	env := NewEnv(1)
+	cells, err := AblationStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 { // 3 threshold + 3 estimator + 2 interval
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byVariant := map[string]AblationCell{}
+	var reference float64
+	for _, c := range cells {
+		byVariant[c.Study+"/"+c.Variant] = c
+		if c.Study == "threshold" && strings.HasPrefix(c.Variant, "auto") {
+			reference = c.Optimal
+		}
+	}
+	if reference == 0 {
+		t.Fatal("no reference estimate")
+	}
+	// Every successful configuration lands within 20% of the reference —
+	// the method is robust to these design choices on well-behaved data.
+	for _, c := range cells {
+		if c.Failed || c.Optimal == 0 {
+			continue
+		}
+		if math.Abs(c.Optimal-reference)/reference > 0.2 {
+			t.Errorf("%s/%s: estimate %v far from reference %v", c.Study, c.Variant, c.Optimal, reference)
+		}
+	}
+	// The two interval constructions both cover the point estimate.
+	for _, v := range []string{"interval/Wilks likelihood ratio", "interval/parametric bootstrap (400 reps)"} {
+		c, ok := byVariant[v]
+		if !ok {
+			t.Fatalf("missing %s", v)
+		}
+		if !(c.Lo <= c.Optimal) || (!math.IsInf(c.Hi, 1) && c.Hi < c.Optimal) {
+			t.Errorf("%s: interval [%v, %v] vs point %v", v, c.Lo, c.Hi, c.Optimal)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblationStudy(&buf, cells)
+	if !strings.Contains(buf.String(), "Ablation") || !strings.Contains(buf.String(), "bootstrap") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"optassign/internal/core"
+	"optassign/internal/evt"
+	"optassign/internal/sched"
+)
+
+// SchedulerCell is one scheduler's outcome on one benchmark, with its
+// distance from the estimated optimum — the evaluation §2 argues every
+// scheduling proposal should report.
+type SchedulerCell struct {
+	Benchmark string
+	Scheduler string
+	PPS       float64
+	// LossPct is the measured loss versus the estimated optimal system
+	// performance for this workload, percent.
+	LossPct float64
+	// Budget is the number of measurements the scheduler consumed.
+	Budget int
+}
+
+// SchedulerStudy compares every implemented assignment policy — naive,
+// Linux-like, demand-aware greedy, best-of-N sampling, and local search —
+// against the EVT-estimated optimal performance of each suite benchmark.
+// This implements the paper's §2 position ("the evaluation of those
+// proposals could significantly improve if they were also compared to the
+// performance of the optimal task assignment") on our own baselines.
+func SchedulerStudy(env *Env) ([]SchedulerCell, error) {
+	const searchBudget = 1000
+	var cells []SchedulerCell
+	for _, name := range SuiteNames {
+		tb, err := env.Testbed(name, CaseStudyInstances)
+		if err != nil {
+			return nil, err
+		}
+		topo := tb.Machine.Topo
+
+		// The yardstick: estimated optimum from the shared 5000 sample.
+		rs, err := env.Sample(name, 5000)
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.EstimateOptimal(core.Perfs(rs), evt.POTOptions{})
+		if err != nil {
+			return nil, err
+		}
+		optimal := est.Optimal
+
+		add := func(schedName string, pps float64, budget int) {
+			cells = append(cells, SchedulerCell{
+				Benchmark: name,
+				Scheduler: schedName,
+				PPS:       pps,
+				LossPct:   (optimal - pps) / optimal * 100,
+				Budget:    budget,
+			})
+		}
+
+		// Naive: expected performance of one random draw.
+		var naive float64
+		const naiveDraws = 50
+		for s := int64(0); s < naiveDraws; s++ {
+			a, err := sched.Naive{Rng: rand.New(rand.NewSource(env.Seed + s))}.Assign(topo, tb.TaskCount())
+			if err != nil {
+				return nil, err
+			}
+			p, err := tb.Measure(a)
+			if err != nil {
+				return nil, err
+			}
+			naive += p / naiveDraws
+		}
+		add("Naive (expected)", naive, 1)
+
+		linuxA, err := sched.LinuxLike{}.Assign(topo, tb.TaskCount())
+		if err != nil {
+			return nil, err
+		}
+		linux, err := tb.Measure(linuxA)
+		if err != nil {
+			return nil, err
+		}
+		add("Linux-like", linux, 1)
+
+		tasks, links := tb.Tasks()
+		greedyA, err := (sched.GreedyDemand{Machine: tb.Machine, Tasks: tasks, Links: links}).Assign()
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := tb.Measure(greedyA)
+		if err != nil {
+			return nil, err
+		}
+		add("Greedy-demand", greedy, 1)
+
+		bo := sched.BestOfN{N: searchBudget, Seed: env.Seed}
+		_, boPerf, err := bo.Assign(topo, tb.TaskCount(), tb)
+		if err != nil {
+			return nil, err
+		}
+		add(bo.Name(), boPerf, searchBudget)
+
+		ls := sched.LocalSearch{Budget: searchBudget, Seed: env.Seed}
+		_, lsPerf, err := ls.Assign(topo, tb.TaskCount(), tb)
+		if err != nil {
+			return nil, err
+		}
+		add(ls.Name(), lsPerf, searchBudget+1)
+
+		add("Estimated optimum", optimal, 5000)
+	}
+	return cells, nil
+}
+
+// PrintSchedulerStudy renders the comparison table.
+func PrintSchedulerStudy(w io.Writer, cells []SchedulerCell) {
+	fmt.Fprintln(w, "Extension: schedulers vs the estimated optimal performance")
+	fmt.Fprintf(w, "%-16s %-20s %12s %10s %8s\n", "benchmark", "scheduler", "PPS", "loss", "budget")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-16s %-20s %12.5g %9.2f%% %8d\n",
+			c.Benchmark, c.Scheduler, c.PPS, c.LossPct, c.Budget)
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optassign/internal/proc"
+)
+
+func TestSelectStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined study is slow")
+	}
+	env := NewEnv(1)
+	r, err := SelectStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PoolSize != 24 || r.WorkloadSize != 12 || r.Samples != 2000 {
+		t.Fatalf("meta: %+v", r)
+	}
+	if len(r.Best.BestPick) != 12 {
+		t.Fatalf("pick = %v", r.Best.BestPick)
+	}
+	if r.Best.Estimate.Optimal < r.Best.BestPerf {
+		t.Errorf("estimate %v below best %v", r.Best.Estimate.Optimal, r.Best.BestPerf)
+	}
+	// The winning combination should beat a random workload under the
+	// same balanced map by a clear margin — composition matters. Verify by
+	// measuring a deliberately bad (all memory-bound) pick.
+	machine := proc.UltraSPARCT2Machine()
+	runner := &poolRunner{machine: machine, pool: selectPool()}
+	badPick := []int{6, 7, 8, 9, 10, 11, 6 + 0, 7, 8, 9, 10, 11} // duplicates not allowed; build properly below
+	badPick = []int{6, 7, 8, 9, 10, 11, 0, 1, 12, 13, 18, 19}
+	a := r.Best.BestAssignment
+	badPerf, err := runner.MeasureWorkload(badPick, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Best.BestPerf > badPerf) {
+		t.Errorf("best combination %v not above an arbitrary mixed pick %v", r.Best.BestPerf, badPerf)
+	}
+
+	var buf bytes.Buffer
+	PrintSelectStudy(&buf, r)
+	if !strings.Contains(buf.String(), "workload selection") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTopologyAndBenchmarkRenders(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTopology(&buf, proc.UltraSPARCT2Machine())
+	out := buf.String()
+	for _, want := range []string{"IntraPipe", "IntraCore", "InterCore", "LSU", "communication"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("topology render missing %q", want)
+		}
+	}
+	buf.Reset()
+	env := NewEnv(1)
+	if err := PrintBenchmarks(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"Aho-Corasick", "IPFwd-intmul", "queue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("benchmark render missing %q", want)
+		}
+	}
+}

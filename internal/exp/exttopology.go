@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"optassign/internal/apps"
+	"optassign/internal/proc"
+	"optassign/internal/t2"
+)
+
+// PrintTopology renders the Figure-8 information as text: the simulated
+// processor's shape and which resources are shared at which level, with
+// their modeled capacities.
+func PrintTopology(w io.Writer, m *proc.Machine) {
+	fmt.Fprintf(w, "Figure 8 (as text): %s @ %.2f GHz\n", m.Topo, m.ClockHz/1e9)
+	levels := []t2.SharingLevel{t2.IntraPipe, t2.IntraCore, t2.InterCore}
+	for _, level := range levels {
+		fmt.Fprintf(w, "%s resources:\n", level)
+		for r := 0; r < proc.NumResources; r++ {
+			if proc.Resource(r).Level() != level {
+				continue
+			}
+			fmt.Fprintf(w, "  %-4v capacity %.2f work/cycle per instance\n", proc.Resource(r), m.Caps[r])
+		}
+	}
+	fmt.Fprintf(w, "communication: same-core queue %g cycles on L1D; cross-core %g on L2 + %g on XBAR\n",
+		m.LocalCommL1, m.RemoteCommL2, m.RemoteCommXBar)
+}
+
+// PrintBenchmarks renders the Figure-9 information as text: the R→P→T
+// pipeline structure of every benchmark with its per-stage demand budgets.
+func PrintBenchmarks(w io.Writer, env *Env) error {
+	fmt.Fprintln(w, "Figure 9 (as text): benchmark pipelines (cycles/packet by stage)")
+	names := append(append([]string(nil), SuiteNames...), "IPFwd-intadd", "IPFwd-intmul")
+	for _, name := range names {
+		app, err := apps.ByName(name, env.Profile)
+		if err != nil {
+			return err
+		}
+		d := app.MeanDemands()
+		fmt.Fprintf(w, "%-16s NIU -> [R %4.0f] -> queue -> [P %4.0f] -> queue -> [T %4.0f] -> NIU\n",
+			app.Name(), d[apps.Receive].Base(), d[apps.Process].Base(), d[apps.Transmit].Base())
+		p := d[apps.Process]
+		fmt.Fprintf(w, "%16s P profile: serial %.0f, IEU %.0f, LSU %.0f, L1D %.0f, L2 %.0f, MEM %.0f\n",
+			"", p.Serial, p.Res[proc.IEU], p.Res[proc.LSU], p.Res[proc.L1D], p.Res[proc.L2], p.Res[proc.MEM])
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"optassign/internal/assign"
+	"optassign/internal/sched"
+	"optassign/internal/stats"
+)
+
+// Figure1Instances: two 3-thread pipeline instances — six threads, the
+// ~1500-assignment population of the motivation study.
+const Figure1Instances = 2
+
+// Figure1Row is one benchmark's bar cluster in Figure 1.
+type Figure1Row struct {
+	Benchmark   string
+	NaivePPS    float64 // expected performance of a random assignment
+	LinuxPPS    float64 // the balanced Linux-like assignment
+	OptimalPPS  float64 // true optimum from exhaustive enumeration
+	Population  int     // number of distinct assignments measured
+	LinuxGainPP float64 // Linux-like improvement over naive, % of naive
+	NaiveGapPP  float64 // optimal headroom over naive, % of naive
+	LinuxLossPP float64 // Linux-like loss vs optimal, % of optimal
+}
+
+// Figure1 reproduces the motivation study: for IPFwd-intadd and
+// IPFwd-intmul, measure every distinct assignment of the 6-thread workload
+// exhaustively and compare the naive and Linux-like schedulers with the
+// true optimum. The paper's punchline must hold: the Linux-like scheduler's
+// larger gain on intadd reflects a larger room for improvement, yet its
+// loss versus the optimum is larger for intadd than for intmul.
+func Figure1(env *Env) ([]Figure1Row, error) {
+	rows := make([]Figure1Row, 0, 2)
+	for _, name := range []string{"IPFwd-intadd", "IPFwd-intmul"} {
+		tb, err := env.Testbed(name, Figure1Instances)
+		if err != nil {
+			return nil, err
+		}
+		all, err := assign.Enumerate(tb.Machine.Topo, tb.TaskCount(), 0)
+		if err != nil {
+			return nil, err
+		}
+		perfs := make([]float64, 0, len(all))
+		for _, a := range all {
+			p, err := tb.MeasureAnalytic(a)
+			if err != nil {
+				return nil, err
+			}
+			perfs = append(perfs, p)
+		}
+		linuxA, err := sched.LinuxLike{}.Assign(tb.Machine.Topo, tb.TaskCount())
+		if err != nil {
+			return nil, err
+		}
+		linux, err := tb.MeasureAnalytic(linuxA)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure1Row{
+			Benchmark:  name,
+			NaivePPS:   stats.Mean(perfs), // a random draw's expectation
+			LinuxPPS:   linux,
+			OptimalPPS: stats.MustMax(perfs),
+			Population: len(perfs),
+		}
+		row.LinuxGainPP = (row.LinuxPPS - row.NaivePPS) / row.NaivePPS * 100
+		row.NaiveGapPP = (row.OptimalPPS - row.NaivePPS) / row.NaivePPS * 100
+		row.LinuxLossPP = (row.OptimalPPS - row.LinuxPPS) / row.OptimalPPS * 100
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigure1 renders the two bar clusters with the paper's derived
+// percentages.
+func PrintFigure1(w io.Writer, rows []Figure1Row) {
+	groups := make([]BarGroup, 0, len(rows))
+	for _, r := range rows {
+		groups = append(groups, BarGroup{
+			Label: fmt.Sprintf("%s (population %d)", r.Benchmark, r.Population),
+			Bars: []Bar{
+				{Name: "Naive", Value: r.NaivePPS},
+				{Name: "Linux-like", Value: r.LinuxPPS},
+				{Name: "Optimal", Value: r.OptimalPPS},
+			},
+		})
+	}
+	PlotBars(w, "Figure 1: naive vs Linux-like vs optimal task assignment", "PPS", groups, 40)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s: Linux-like gain over naive %.1f%%; optimal headroom over naive %.1f%%; Linux-like loss vs optimal %.1f%%\n",
+			r.Benchmark, r.LinuxGainPP, r.NaiveGapPP, r.LinuxLossPP)
+	}
+}

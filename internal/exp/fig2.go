@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"io"
+	"math"
+
+	"optassign/internal/core"
+)
+
+// Figure2Pcts are the best-performing percentages the paper plots.
+var Figure2Pcts = []float64{1, 2, 5, 10, 25}
+
+// Figure2Curve is one P% series of Figure 2.
+type Figure2Curve struct {
+	TopPct float64
+	Points []core.CapturePoint
+}
+
+// Figure2 evaluates the §3.1 capture-probability formula over sample sizes
+// 1..10000 (log-spaced) for P = 1, 2, 5, 10 and 25%.
+func Figure2() ([]Figure2Curve, error) {
+	var ns []int
+	for i := 0; i <= 40; i++ {
+		n := int(math.Round(math.Pow(10, float64(i)/10)))
+		if len(ns) == 0 || n != ns[len(ns)-1] {
+			ns = append(ns, n)
+		}
+	}
+	curves := make([]Figure2Curve, 0, len(Figure2Pcts))
+	for _, pct := range Figure2Pcts {
+		pts, err := core.CaptureCurve(pct, ns)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, Figure2Curve{TopPct: pct, Points: pts})
+	}
+	return curves, nil
+}
+
+// PrintFigure2 renders the probability curves on a log-x ASCII plot.
+func PrintFigure2(w io.Writer, curves []Figure2Curve) {
+	series := make([]Series, 0, len(curves))
+	for _, c := range curves {
+		s := Series{Name: figure2Label(c.TopPct)}
+		for _, p := range c.Points {
+			s.Xs = append(s.Xs, math.Log10(float64(p.N)))
+			s.Ys = append(s.Ys, p.Prob)
+		}
+		series = append(series, s)
+	}
+	PlotXY(w, "Figure 2: P(sample contains a top-P% assignment) vs log10(sample size)", series, 72, 18)
+}
+
+func figure2Label(pct float64) string {
+	switch pct {
+	case 1:
+		return "P=1%"
+	case 2:
+		return "P=2%"
+	case 5:
+		return "P=5%"
+	case 10:
+		return "P=10%"
+	case 25:
+		return "P=25%"
+	default:
+		return "P=?"
+	}
+}

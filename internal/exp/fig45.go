@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"optassign/internal/evt"
+	"optassign/internal/stats"
+)
+
+// Figure45Result is the didactic Peak-Over-Threshold illustration of
+// Figures 4 and 5: a synthetic observation sequence, the exceedances over a
+// threshold u, and the conditional excess distribution compared with its
+// GPD approximation.
+type Figure45Result struct {
+	Observations []float64
+	U            float64
+	Exceedances  []float64
+	Fit          evt.Fit
+	// ExcessECDF and FittedCDF are evaluated on a common grid for the
+	// bottom chart of Figure 5.
+	Grid       []float64
+	ExcessECDF []float64
+	FittedCDF  []float64
+}
+
+// Figure45 draws a bounded synthetic sample, applies the POT method and
+// reports how well the GPD models the conditional excess distribution.
+func Figure45(seed int64) (Figure45Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	// A population whose tail above 70 is exactly GPD(ξ=−0.3, σ=9) — by
+	// threshold stability every higher threshold also sees a GPD with the
+	// same shape, so the POT fit has a known right answer (endpoint 100).
+	tail := evt.GPD{Xi: -0.3, Sigma: 9}
+	obs := make([]float64, 4000)
+	for i := range obs {
+		if rng.Float64() < 0.2 {
+			obs[i] = 70 + tail.Rand(rng)
+		} else {
+			obs[i] = 20 + 50*rng.Float64() // the unremarkable body
+		}
+	}
+	// The didactic figure uses the plain 5% rule so the exceedance set is
+	// large enough to draw a smooth conditional excess distribution.
+	thr, err := evt.SelectThreshold(obs, evt.ThresholdOptions{Rule: evt.RuleMaxFraction})
+	if err != nil {
+		return Figure45Result{}, err
+	}
+	fit, err := evt.FitGPD(thr.Exceedances)
+	if err != nil {
+		return Figure45Result{}, err
+	}
+	res := Figure45Result{
+		Observations: obs,
+		U:            thr.U,
+		Exceedances:  thr.Exceedances,
+		Fit:          fit,
+	}
+	e := stats.NewECDF(thr.Exceedances)
+	maxY := e.Max()
+	for i := 0; i <= 40; i++ {
+		y := maxY * float64(i) / 40
+		res.Grid = append(res.Grid, y)
+		res.ExcessECDF = append(res.ExcessECDF, e.At(y))
+		res.FittedCDF = append(res.FittedCDF, fit.GPD.CDF(y))
+	}
+	return res, nil
+}
+
+// PrintFigure45 renders the excess distribution against its GPD fit.
+func PrintFigure45(w io.Writer, r Figure45Result) {
+	fmt.Fprintf(w, "Figures 4/5: POT on a synthetic bounded sample — u = %.4g, %d of %d observations exceed\n",
+		r.U, len(r.Exceedances), len(r.Observations))
+	PlotXY(w, "conditional excess distribution Fu(y) vs fitted GPD",
+		[]Series{
+			{Name: "empirical Fu", Xs: r.Grid, Ys: r.ExcessECDF},
+			{Name: fmt.Sprintf("fitted %v", r.Fit.GPD), Xs: r.Grid, Ys: r.FittedCDF},
+		}, 72, 14)
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"optassign/internal/assign"
+	"optassign/internal/t2"
+)
+
+// Table1Row is one row of Table 1: the assignment-population size for a
+// workload of Tasks tasks on the UltraSPARC T2, with the time needed to
+// execute every assignment (1 s each) and to predict every assignment
+// (1 µs each).
+type Table1Row struct {
+	Tasks       int
+	Assignments *big.Int
+	ExecuteAll  string // humanized duration at 1 s per assignment
+	PredictAll  string // humanized duration at 1 µs per assignment
+}
+
+// Table1Tasks are the workload sizes the paper tabulates.
+var Table1Tasks = []int{3, 6, 9, 12, 15, 18, 60}
+
+// Table1 computes Table 1 exactly (big-integer combinatorics; no sampling
+// involved).
+func Table1() ([]Table1Row, error) {
+	topo := t2.UltraSPARCT2()
+	rows := make([]Table1Row, 0, len(Table1Tasks))
+	for _, n := range Table1Tasks {
+		c, err := assign.Count(topo, n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Tasks:       n,
+			Assignments: c,
+			ExecuteAll:  humanizeSeconds(new(big.Float).SetInt(c)),
+			PredictAll:  humanizeSeconds(new(big.Float).Quo(new(big.Float).SetInt(c), big.NewFloat(1e6))),
+		})
+	}
+	return rows, nil
+}
+
+// humanizeSeconds renders an arbitrary-precision duration in the most
+// natural unit, years for anything above one year.
+func humanizeSeconds(s *big.Float) string {
+	f, _ := s.Float64()
+	const (
+		minute = 60.0
+		hour   = 3600.0
+		day    = 86400.0
+		year   = 365.25 * day
+	)
+	switch {
+	case f < 1e-3:
+		return fmt.Sprintf("%.3g ms", f*1e3)
+	case f < minute:
+		return fmt.Sprintf("%.3g s", f)
+	case f < hour:
+		return fmt.Sprintf("%.3g min", f/minute)
+	case f < day:
+		return fmt.Sprintf("%.3g hours", f/hour)
+	case f < year:
+		return fmt.Sprintf("%.3g days", f/day)
+	default:
+		y := new(big.Float).Quo(s, big.NewFloat(year))
+		return fmt.Sprintf("%.3g years", mustFloat(y))
+	}
+}
+
+func mustFloat(f *big.Float) float64 {
+	v, _ := f.Float64()
+	return v
+}
+
+// PrintTable1 renders the table the way the paper lays it out.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: Number of different task assignments on the UltraSPARC T2")
+	fmt.Fprintf(w, "%-8s %-28s %-22s %-22s\n", "tasks", "assignments", "execute all (1 s ea.)", "predict all (1 µs ea.)")
+	for _, r := range rows {
+		count := r.Assignments.Text(10)
+		if len(count) > 26 {
+			f := new(big.Float).SetInt(r.Assignments)
+			count = fmt.Sprintf("%.3e", f)
+		}
+		fmt.Fprintf(w, "%-8d %-28s %-22s %-22s\n", r.Tasks, count, r.ExecuteAll, r.PredictAll)
+	}
+}

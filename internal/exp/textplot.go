@@ -1,0 +1,134 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// on the simulated testbed: Table 1 and Figures 1–3, 4/5 (didactic POT),
+// 6, 7, 10, 11, 12 and 14. Each experiment is a pure function returning
+// structured rows plus a Print method rendering the same table/series the
+// paper reports, so cmd/paperbench and the root-level benchmarks share one
+// implementation.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an XY plot.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// PlotXY renders series as a fixed-size ASCII chart. X positions are mapped
+// linearly (pass log-transformed Xs for a log axis). NaN/Inf points are
+// skipped.
+func PlotXY(w io.Writer, title string, series []Series, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		fmt.Fprintf(w, "%s\n(no finite data)\n", title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			c := int((x - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[r][c] = mark
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "y: [%.4g .. %.4g]\n", minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	fmt.Fprintf(w, "x: [%.4g .. %.4g]\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+}
+
+// Bar is one bar of a grouped bar chart, with an optional error interval.
+type Bar struct {
+	Name  string
+	Value float64
+	ErrLo float64 // lower bound of the error bar (0 = none)
+	ErrHi float64 // upper bound of the error bar (0 = none)
+}
+
+// BarGroup is one labelled cluster of bars.
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// PlotBars renders grouped bars as scaled text rows: one line per bar with
+// a proportional run of '#' and the numeric value (plus the error interval
+// when present).
+func PlotBars(w io.Writer, title, unit string, groups []BarGroup, width int) {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	for _, g := range groups {
+		for _, b := range g.Bars {
+			v := b.Value
+			if b.ErrHi > v {
+				v = b.ErrHi
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for _, g := range groups {
+		fmt.Fprintf(w, "%s\n", g.Label)
+		for _, b := range g.Bars {
+			n := int(b.Value / maxV * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			line := fmt.Sprintf("  %-14s %s %.4g %s", b.Name, strings.Repeat("#", n), b.Value, unit)
+			if b.ErrLo != 0 || b.ErrHi != 0 {
+				line += fmt.Sprintf("  [%.4g, %.4g]", b.ErrLo, b.ErrHi)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}

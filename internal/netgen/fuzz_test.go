@@ -1,0 +1,70 @@
+package netgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the packet parser with arbitrary bytes: it must never
+// panic, and whatever it accepts must be internally consistent.
+func FuzzDecode(f *testing.F) {
+	// Seed with real packets and their truncations/corruptions.
+	pkt := Build([6]byte{1}, [6]byte{2}, 0x0a000001, 0xc0a80001, ProtoTCP, 64, 1234, 80, []byte("payload"))
+	f.Add(pkt.Raw)
+	f.Add(pkt.Raw[:20])
+	udp := Build([6]byte{1}, [6]byte{2}, 1, 2, ProtoUDP, 1, 1, 2, nil)
+	f.Add(udp.Raw)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p := Packet{Raw: raw}
+		h, err := p.Decode()
+		if err != nil {
+			if p.Payload() != nil && len(p.Payload()) > 0 {
+				t.Error("undecodable packet returned a payload")
+			}
+			return
+		}
+		// Accepted packets are self-consistent.
+		if h.Length > len(raw) {
+			t.Errorf("decoded length %d exceeds raw %d", h.Length, len(raw))
+		}
+		if h.PayloadOff > h.Length {
+			t.Errorf("payload offset %d beyond length %d", h.PayloadOff, h.Length)
+		}
+		if h.Proto != ProtoTCP && h.Proto != ProtoUDP {
+			t.Errorf("accepted unsupported proto %d", h.Proto)
+		}
+		_ = p.Payload()
+		_ = p.VerifyIPv4Checksum()
+	})
+}
+
+// FuzzReadPcap ensures arbitrary capture bytes never panic the reader.
+func FuzzReadPcap(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, 1000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pkt := Build([6]byte{1}, [6]byte{2}, 1, 2, ProtoUDP, 1, 1, 2, []byte("x"))
+	if err := w.WritePacket(pkt); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:30])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pkts, err := ReadPcap(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for _, p := range pkts {
+			if len(p.Raw) > pcapSnapLen {
+				t.Errorf("accepted packet of %d bytes", len(p.Raw))
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package netgen is the synthetic stand-in for Oracle's NTGen traffic
+// generator of the paper's testbed (§4): it produces IPv4 TCP/UDP packets
+// with real wire-format headers, configurable field distributions, a
+// Zipf-skewed flow population and optional keyword planting in payloads (so
+// the Aho-Corasick benchmark has something to find). Generation is fully
+// deterministic given a seed, and fast enough to saturate the simulated
+// processing machine — the measurement bottleneck stays on the processing
+// side, as in the paper.
+package netgen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Wire-format constants.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	TCPHeaderLen      = 20
+	UDPHeaderLen      = 8
+
+	EtherTypeIPv4 = 0x0800
+
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Packet is one network packet as raw bytes: Ethernet + IPv4 + TCP/UDP +
+// payload, exactly as it would arrive from the NIU.
+type Packet struct {
+	Raw []byte
+}
+
+// Errors returned by the packet accessors.
+var (
+	ErrTruncated   = errors.New("netgen: packet truncated")
+	ErrNotIPv4     = errors.New("netgen: not an IPv4 packet")
+	ErrUnsupported = errors.New("netgen: unsupported transport protocol")
+)
+
+// Header carries the decoded fields the benchmarks work with.
+type Header struct {
+	SrcMAC, DstMAC     [6]byte
+	SrcIP, DstIP       uint32
+	Proto              uint8
+	TTL                uint8
+	SrcPort, DstPort   uint16
+	PayloadOff, Length int
+}
+
+// FlowKey is the 5-tuple identifying a flow (the paper's stateful benchmark
+// keys its hash table on it).
+type FlowKey struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Key extracts the 5-tuple from a decoded header.
+func (h *Header) Key() FlowKey {
+	return FlowKey{SrcIP: h.SrcIP, DstIP: h.DstIP, SrcPort: h.SrcPort, DstPort: h.DstPort, Proto: h.Proto}
+}
+
+// Decode parses the Ethernet, IPv4 and transport headers of the packet. It
+// is the canonical parser used by the packet-analyzer benchmark and by
+// tests to validate generated traffic.
+func (p Packet) Decode() (Header, error) {
+	var h Header
+	raw := p.Raw
+	if len(raw) < EthernetHeaderLen+IPv4HeaderLen {
+		return h, ErrTruncated
+	}
+	copy(h.DstMAC[:], raw[0:6])
+	copy(h.SrcMAC[:], raw[6:12])
+	if binary.BigEndian.Uint16(raw[12:14]) != EtherTypeIPv4 {
+		return h, ErrNotIPv4
+	}
+	ip := raw[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return h, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return h, ErrTruncated
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	// A total length beyond the captured bytes means truncation; one
+	// smaller than the header itself means a malformed (or hostile)
+	// length field.
+	if totalLen > len(ip) || totalLen < ihl {
+		return h, ErrTruncated
+	}
+	h.TTL = ip[8]
+	h.Proto = ip[9]
+	h.SrcIP = binary.BigEndian.Uint32(ip[12:16])
+	h.DstIP = binary.BigEndian.Uint32(ip[16:20])
+	trans := ip[ihl:totalLen]
+	switch h.Proto {
+	case ProtoTCP:
+		if len(trans) < TCPHeaderLen {
+			return h, ErrTruncated
+		}
+		h.SrcPort = binary.BigEndian.Uint16(trans[0:2])
+		h.DstPort = binary.BigEndian.Uint16(trans[2:4])
+		dataOff := int(trans[12]>>4) * 4
+		if dataOff < TCPHeaderLen || dataOff > len(trans) {
+			return h, ErrTruncated
+		}
+		h.PayloadOff = EthernetHeaderLen + ihl + dataOff
+	case ProtoUDP:
+		if len(trans) < UDPHeaderLen {
+			return h, ErrTruncated
+		}
+		h.SrcPort = binary.BigEndian.Uint16(trans[0:2])
+		h.DstPort = binary.BigEndian.Uint16(trans[2:4])
+		h.PayloadOff = EthernetHeaderLen + ihl + UDPHeaderLen
+	default:
+		return h, fmt.Errorf("%w: %d", ErrUnsupported, h.Proto)
+	}
+	h.Length = EthernetHeaderLen + totalLen
+	return h, nil
+}
+
+// Payload returns the transport payload bytes, or nil if the packet cannot
+// be decoded.
+func (p Packet) Payload() []byte {
+	h, err := p.Decode()
+	if err != nil {
+		return nil
+	}
+	if h.PayloadOff > len(p.Raw) {
+		return nil
+	}
+	end := h.Length
+	if end > len(p.Raw) {
+		end = len(p.Raw)
+	}
+	return p.Raw[h.PayloadOff:end]
+}
+
+// IPv4Checksum computes the Internet checksum of an IPv4 header (with the
+// checksum field zeroed by the caller or skipped).
+func IPv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // skip the checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPv4Checksum reports whether the packet's IPv4 header checksum is
+// consistent.
+func (p Packet) VerifyIPv4Checksum() bool {
+	if len(p.Raw) < EthernetHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	ip := p.Raw[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	return IPv4Checksum(ip) == binary.BigEndian.Uint16(ip[10:12])
+}
+
+// Build assembles a packet from fields; payload is copied.
+func Build(srcMAC, dstMAC [6]byte, srcIP, dstIP uint32, proto uint8, ttl uint8, srcPort, dstPort uint16, payload []byte) Packet {
+	transLen := TCPHeaderLen
+	if proto == ProtoUDP {
+		transLen = UDPHeaderLen
+	}
+	total := EthernetHeaderLen + IPv4HeaderLen + transLen + len(payload)
+	raw := make([]byte, total)
+	copy(raw[0:6], dstMAC[:])
+	copy(raw[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(raw[12:14], EtherTypeIPv4)
+
+	ip := raw[EthernetHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+transLen+len(payload)))
+	ip[8] = ttl
+	ip[9] = proto
+	binary.BigEndian.PutUint32(ip[12:16], srcIP)
+	binary.BigEndian.PutUint32(ip[16:20], dstIP)
+	binary.BigEndian.PutUint16(ip[10:12], IPv4Checksum(ip[:IPv4HeaderLen]))
+
+	trans := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(trans[0:2], srcPort)
+	binary.BigEndian.PutUint16(trans[2:4], dstPort)
+	if proto == ProtoTCP {
+		trans[12] = 5 << 4 // data offset 5 words
+	} else {
+		binary.BigEndian.PutUint16(trans[4:6], uint16(UDPHeaderLen+len(payload)))
+	}
+	copy(raw[EthernetHeaderLen+IPv4HeaderLen+transLen:], payload)
+	return Packet{Raw: raw}
+}
+
+// IPString renders a uint32 IPv4 address in dotted form (for logs).
+func IPString(ip uint32) string {
+	return net.IPv4(byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip)).String()
+}

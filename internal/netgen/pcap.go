@@ -1,0 +1,123 @@
+package netgen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Pcap constants (classic libpcap format, microsecond timestamps).
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	pcapLinkEthernet = 1
+	pcapSnapLen      = 65535
+)
+
+// PcapWriter streams packets into the classic libpcap capture format, so
+// generated traffic can be inspected with tcpdump or Wireshark — the tools
+// the paper's packet-analyzer benchmark models. Timestamps are synthetic:
+// the writer spaces packets evenly at the configured rate.
+type PcapWriter struct {
+	w        io.Writer
+	wrote    bool
+	packets  uint64
+	interval uint64 // microseconds between packets
+}
+
+// NewPcapWriter creates a writer that timestamps packets as if they
+// arrived at ratePPS packets per second (minimum 1 µs spacing).
+func NewPcapWriter(w io.Writer, ratePPS float64) (*PcapWriter, error) {
+	if w == nil {
+		return nil, errors.New("netgen: nil writer")
+	}
+	if ratePPS <= 0 {
+		return nil, fmt.Errorf("netgen: rate must be positive, got %v", ratePPS)
+	}
+	interval := uint64(1e6 / ratePPS)
+	if interval == 0 {
+		interval = 1
+	}
+	return &PcapWriter{w: w, interval: interval}, nil
+}
+
+// writeHeader emits the global pcap header once.
+func (p *PcapWriter) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMinor)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEthernet)
+	_, err := p.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one packet record.
+func (p *PcapWriter) WritePacket(pkt Packet) error {
+	if len(pkt.Raw) == 0 {
+		return errors.New("netgen: empty packet")
+	}
+	if !p.wrote {
+		if err := p.writeHeader(); err != nil {
+			return err
+		}
+		p.wrote = true
+	}
+	usec := p.packets * p.interval
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(usec/1e6)) // ts seconds
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(usec%1e6)) // ts microseconds
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(pkt.Raw)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(pkt.Raw)))
+	if _, err := p.w.Write(rec[:]); err != nil {
+		return err
+	}
+	if _, err := p.w.Write(pkt.Raw); err != nil {
+		return err
+	}
+	p.packets++
+	return nil
+}
+
+// Packets returns how many records were written.
+func (p *PcapWriter) Packets() uint64 { return p.packets }
+
+// ReadPcap parses a capture written by PcapWriter (or any classic
+// little-endian pcap with Ethernet link type) back into packets — the
+// round-trip half used by tests and by offline replay.
+func ReadPcap(r io.Reader) ([]Packet, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netgen: pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
+		return nil, errors.New("netgen: not a little-endian pcap file")
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != pcapLinkEthernet {
+		return nil, fmt.Errorf("netgen: unsupported link type %d", lt)
+	}
+	var out []Packet
+	for {
+		var rec [16]byte
+		_, err := io.ReadFull(r, rec[:])
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netgen: record %d header: %w", len(out), err)
+		}
+		incl := binary.LittleEndian.Uint32(rec[8:12])
+		if incl > pcapSnapLen {
+			return nil, fmt.Errorf("netgen: record %d: implausible length %d", len(out), incl)
+		}
+		raw := make([]byte, incl)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("netgen: record %d body: %w", len(out), err)
+		}
+		out = append(out, Packet{Raw: raw})
+	}
+}

@@ -1,0 +1,114 @@
+package netgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(DefaultProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent []Packet
+	for i := 0; i < 25; i++ {
+		pkt := gen.Next()
+		sent = append(sent, pkt)
+		if err := w.WritePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets() != 25 {
+		t.Errorf("Packets = %d", w.Packets())
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i := range sent {
+		if !bytes.Equal(got[i].Raw, sent[i].Raw) {
+			t.Fatalf("packet %d differs after round trip", i)
+		}
+		if _, err := got[i].Decode(); err != nil {
+			t.Fatalf("packet %d undecodable after round trip: %v", i, err)
+		}
+	}
+}
+
+func TestPcapHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := Build([6]byte{1}, [6]byte{2}, 1, 2, ProtoUDP, 64, 1, 2, []byte("x"))
+	if err := w.WritePacket(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(pkt); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if binary.LittleEndian.Uint32(raw[0:4]) != 0xa1b2c3d4 {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint32(raw[20:24]) != 1 {
+		t.Error("link type not Ethernet")
+	}
+	// Second record's timestamp is 1000 µs after the first (1000 PPS).
+	rec2 := 24 + 16 + len(pkt.Raw)
+	usec := binary.LittleEndian.Uint32(raw[rec2+4 : rec2+8])
+	if usec != 1000 {
+		t.Errorf("second record at %d µs, want 1000", usec)
+	}
+}
+
+func TestPcapWriterValidation(t *testing.T) {
+	if _, err := NewPcapWriter(nil, 1000); err == nil {
+		t.Error("nil writer accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := NewPcapWriter(&buf, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	w, err := NewPcapWriter(&buf, 1e9) // faster than 1 µs spacing: clamps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(Packet{}); err == nil {
+		t.Error("empty packet accepted")
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(strings.NewReader("short")); err == nil {
+		t.Error("short file accepted")
+	}
+	bad := make([]byte, 24)
+	if _, err := ReadPcap(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Correct magic, wrong link type.
+	binary.LittleEndian.PutUint32(bad[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(bad[20:24], 101) // raw IP
+	if _, err := ReadPcap(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong link type accepted")
+	}
+	// Truncated record body.
+	binary.LittleEndian.PutUint32(bad[20:24], 1)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 100) // claims 100 bytes
+	if _, err := ReadPcap(bytes.NewReader(append(bad, rec...))); err == nil {
+		t.Error("truncated record accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package optimize provides the derivative-free optimizers the EVT analysis
+// needs: a Nelder-Mead simplex minimizer equivalent to the Matlab
+// fminsearch() the paper used to fit the Generalized Pareto Distribution, a
+// golden-section/parabolic 1-D minimizer for profile likelihoods, and a
+// bisection root finder for confidence-interval boundaries.
+package optimize
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrDimension is returned when a starting point has no coordinates.
+var ErrDimension = errors.New("optimize: empty starting point")
+
+// NelderMeadOptions tunes the simplex search. The zero value selects the
+// fminsearch-compatible defaults.
+type NelderMeadOptions struct {
+	// MaxIter bounds the number of simplex iterations (default 200*dim,
+	// matching fminsearch).
+	MaxIter int
+	// TolX is the simplex-diameter convergence tolerance (default 1e-8).
+	TolX float64
+	// TolF is the function-value spread tolerance (default 1e-10).
+	TolF float64
+	// InitialStep is the relative perturbation used to build the initial
+	// simplex (default 0.05, matching fminsearch; absolute 0.00025 is used
+	// for zero coordinates).
+	InitialStep float64
+}
+
+func (o *NelderMeadOptions) withDefaults(dim int) NelderMeadOptions {
+	out := NelderMeadOptions{MaxIter: 200 * dim, TolX: 1e-8, TolF: 1e-10, InitialStep: 0.05}
+	if o == nil {
+		return out
+	}
+	if o.MaxIter > 0 {
+		out.MaxIter = o.MaxIter
+	}
+	if o.TolX > 0 {
+		out.TolX = o.TolX
+	}
+	if o.TolF > 0 {
+		out.TolF = o.TolF
+	}
+	if o.InitialStep > 0 {
+		out.InitialStep = o.InitialStep
+	}
+	return out
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X          []float64 // best point found
+	F          float64   // objective value at X
+	Iterations int
+	Converged  bool
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder-Mead downhill
+// simplex method with the standard coefficients (reflection 1, expansion 2,
+// contraction 0.5, shrink 0.5). The objective may return +Inf (or NaN, which
+// is treated as +Inf) to encode constraint violations; the simplex simply
+// moves away from such points, which is how the GPD support constraint
+// (1 + ξy/σ > 0) is enforced by callers.
+func NelderMead(f func([]float64) float64, x0 []float64, opts *NelderMeadOptions) (Result, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return Result{}, ErrDimension
+	}
+	o := opts.withDefaults(dim)
+
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build the initial simplex: x0 plus one perturbed vertex per dimension.
+	verts := make([][]float64, dim+1)
+	fvals := make([]float64, dim+1)
+	verts[0] = append([]float64(nil), x0...)
+	fvals[0] = eval(verts[0])
+	for i := 0; i < dim; i++ {
+		v := append([]float64(nil), x0...)
+		if v[i] != 0 {
+			v[i] *= 1 + o.InitialStep
+		} else {
+			v[i] = 0.00025
+		}
+		verts[i+1] = v
+		fvals[i+1] = eval(v)
+	}
+
+	order := make([]int, dim+1)
+	centroid := make([]float64, dim)
+	xr := make([]float64, dim)
+	xe := make([]float64, dim)
+	xc := make([]float64, dim)
+
+	res := Result{}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return fvals[order[a]] < fvals[order[b]] })
+		best, worst, second := order[0], order[dim], order[dim-1]
+
+		// Convergence: spread of values and simplex size.
+		fSpread := math.Abs(fvals[worst] - fvals[best])
+		xSpread := 0.0
+		for i := 0; i < dim; i++ {
+			for _, vi := range order[1:] {
+				d := math.Abs(verts[vi][i] - verts[best][i])
+				if d > xSpread {
+					xSpread = d
+				}
+			}
+		}
+		if fSpread <= o.TolF && xSpread <= o.TolX {
+			res.Converged = true
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		for i := range centroid {
+			centroid[i] = 0
+		}
+		for _, vi := range order[:dim] {
+			for i, c := range verts[vi] {
+				centroid[i] += c
+			}
+		}
+		for i := range centroid {
+			centroid[i] /= float64(dim)
+		}
+
+		// Reflection.
+		for i := range xr {
+			xr[i] = centroid[i] + (centroid[i] - verts[worst][i])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < fvals[best]:
+			// Expansion.
+			for i := range xe {
+				xe[i] = centroid[i] + 2*(centroid[i]-verts[worst][i])
+			}
+			fe := eval(xe)
+			if fe < fr {
+				copy(verts[worst], xe)
+				fvals[worst] = fe
+			} else {
+				copy(verts[worst], xr)
+				fvals[worst] = fr
+			}
+		case fr < fvals[second]:
+			copy(verts[worst], xr)
+			fvals[worst] = fr
+		default:
+			// Contraction (outside if reflected point improved on worst,
+			// inside otherwise).
+			if fr < fvals[worst] {
+				for i := range xc {
+					xc[i] = centroid[i] + 0.5*(xr[i]-centroid[i])
+				}
+			} else {
+				for i := range xc {
+					xc[i] = centroid[i] + 0.5*(verts[worst][i]-centroid[i])
+				}
+			}
+			fc := eval(xc)
+			if fc < math.Min(fr, fvals[worst]) {
+				copy(verts[worst], xc)
+				fvals[worst] = fc
+			} else {
+				// Shrink toward the best vertex.
+				for _, vi := range order[1:] {
+					for i := range verts[vi] {
+						verts[vi][i] = verts[best][i] + 0.5*(verts[vi][i]-verts[best][i])
+					}
+					fvals[vi] = eval(verts[vi])
+				}
+			}
+		}
+	}
+
+	bi := 0
+	for i, fv := range fvals {
+		if fv < fvals[bi] {
+			bi = i
+		}
+	}
+	res.X = append([]float64(nil), verts[bi]...)
+	res.F = fvals[bi]
+	return res, nil
+}

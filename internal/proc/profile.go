@@ -1,0 +1,135 @@
+package proc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"optassign/internal/t2"
+)
+
+// ResourceUse is the utilization of one resource instance at the solved
+// steady state, in work units per cycle against its capacity.
+type ResourceUse struct {
+	Resource Resource
+	Instance int // pipe index, core index, or 0 for chip-wide resources
+	Util     float64
+	Cap      float64
+}
+
+// Saturated reports whether the instance is over-subscribed.
+func (u ResourceUse) Saturated() bool { return u.Util > u.Cap }
+
+// Profile is the hardware-counter view of one solved assignment: what every
+// shared resource instance sees, and which ones throttle the workload. It
+// plays the role of the performance-counter data that profile-based
+// schedulers (SOS and friends, §6 of the paper) consume.
+type Profile struct {
+	Result Result
+	Uses   []ResourceUse // sorted by Util/Cap descending
+}
+
+// Hottest returns the most over-subscribed resource uses, at most n.
+func (p *Profile) Hottest(n int) []ResourceUse {
+	if n > len(p.Uses) {
+		n = len(p.Uses)
+	}
+	return p.Uses[:n]
+}
+
+// SaturatedCount returns how many resource instances are over capacity.
+func (p *Profile) SaturatedCount() int {
+	n := 0
+	for _, u := range p.Uses {
+		if u.Saturated() {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes a human-readable counter report.
+func (p *Profile) Dump(w io.Writer, top int) {
+	fmt.Fprintf(w, "total rate: %.6g PPS; %d saturated resource instances\n",
+		p.Result.TotalPPS, p.SaturatedCount())
+	for _, u := range p.Hottest(top) {
+		mark := ""
+		if u.Saturated() {
+			mark = "  << saturated"
+		}
+		fmt.Fprintf(w, "  %-4v[%2d]  util %.3f / cap %.3f%s\n", u.Resource, u.Instance, u.Util, u.Cap, mark)
+	}
+}
+
+// SolveProfile runs Solve and additionally reports the per-instance
+// utilization of every shared resource at the solved operating point — the
+// simulated equivalent of reading hardware performance counters after a
+// measurement run.
+func (m *Machine) SolveProfile(tasks []Task, links []Link, placement []int) (*Profile, error) {
+	res, err := m.Solve(tasks, links, placement)
+	if err != nil {
+		return nil, err
+	}
+
+	// Recompute effective demands exactly as Solve does (communication
+	// placement included) and accumulate utilization at the final rates.
+	eff := make([]Demand, len(tasks))
+	for i, t := range tasks {
+		eff[i] = t.Demand
+	}
+	for _, l := range links {
+		var comm Demand
+		if m.Topo.ShareLevel(placement[l.A], placement[l.B]) == t2.InterCore {
+			comm.Res[L2] = m.RemoteCommL2 * l.Volume
+			comm.Res[XBAR] = m.RemoteCommXBar * l.Volume
+		} else {
+			comm.Res[L1D] = m.LocalCommL1 * l.Volume
+		}
+		eff[l.A] = eff[l.A].Add(comm)
+		eff[l.B] = eff[l.B].Add(comm)
+	}
+
+	util := make(map[[2]int]float64)
+	for i := range tasks {
+		rate := res.GroupRate[tasks[i].Group]
+		ctx := placement[i]
+		for r := 0; r < NumResources; r++ {
+			d := eff[i].Res[r]
+			if d == 0 {
+				continue
+			}
+			var inst int
+			switch Resource(r).Level() {
+			case t2.IntraPipe:
+				inst = m.Topo.PipeOf(ctx)
+			case t2.IntraCore:
+				inst = m.Topo.CoreOf(ctx)
+			default:
+				inst = 0
+			}
+			util[[2]int{r, inst}] += rate * d
+		}
+	}
+
+	prof := &Profile{Result: res}
+	for key, u := range util {
+		prof.Uses = append(prof.Uses, ResourceUse{
+			Resource: Resource(key[0]),
+			Instance: key[1],
+			Util:     u,
+			Cap:      m.Caps[key[0]],
+		})
+	}
+	sort.Slice(prof.Uses, func(i, j int) bool {
+		a, b := prof.Uses[i], prof.Uses[j]
+		ra, rb := a.Util/a.Cap, b.Util/b.Cap
+		if ra != rb {
+			return ra > rb
+		}
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		return a.Instance < b.Instance
+	})
+	return prof, nil
+}

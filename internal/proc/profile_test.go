@@ -1,0 +1,115 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolveProfileBasics(t *testing.T) {
+	m := UltraSPARCT2Machine()
+	d := computeDemand() // IEU-heavy
+	tasks := []Task{{Demand: d, Group: 0}, {Demand: d, Group: 1}}
+	// Same pipe: the pipe's IEU must be the hottest resource and saturated.
+	prof, err := m.SolveProfile(tasks, nil, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Uses) == 0 {
+		t.Fatal("no resource uses reported")
+	}
+	hot := prof.Hottest(1)[0]
+	if hot.Resource != IEU || hot.Instance != 0 {
+		t.Errorf("hottest = %+v, want IEU[0]", hot)
+	}
+	if !hot.Saturated() {
+		t.Errorf("IEU should be saturated: %+v", hot)
+	}
+	if prof.SaturatedCount() < 1 {
+		t.Error("saturated count")
+	}
+	// Utilization equals the analytic expectation: both tasks run at rate
+	// 1/service; IEU util = Σ rate·demand.
+	wantUtil := prof.Result.GroupRate[0]*d.Res[IEU] + prof.Result.GroupRate[1]*d.Res[IEU]
+	if diff := hot.Util - wantUtil; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("IEU util = %v, want %v", hot.Util, wantUtil)
+	}
+}
+
+func TestSolveProfileSeparatedNotSaturated(t *testing.T) {
+	m := UltraSPARCT2Machine()
+	d := computeDemand()
+	tasks := []Task{{Demand: d, Group: 0}, {Demand: d, Group: 1}}
+	prof, err := m.SolveProfile(tasks, nil, []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.SaturatedCount() != 0 {
+		t.Errorf("separated tasks should not saturate anything: %+v", prof.Hottest(3))
+	}
+}
+
+func TestSolveProfileIncludesCommunication(t *testing.T) {
+	m := UltraSPARCT2Machine()
+	var light Demand
+	light.Serial = 400
+	tasks := []Task{{Demand: light, Group: 0}, {Demand: light, Group: 0}}
+	links := []Link{{A: 0, B: 1, Volume: 1}}
+	// Cross-core: communication shows up as L2/XBAR utilization even
+	// though the tasks themselves demand nothing shared.
+	prof, err := m.SolveProfile(tasks, links, []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawL2 bool
+	for _, u := range prof.Uses {
+		if u.Resource == L2 && u.Util > 0 {
+			sawL2 = true
+		}
+	}
+	if !sawL2 {
+		t.Error("cross-core link produced no L2 utilization")
+	}
+	// Same core: L1D instead.
+	prof, err = m.SolveProfile(tasks, links, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawL1 bool
+	for _, u := range prof.Uses {
+		if u.Resource == L1D && u.Util > 0 {
+			sawL1 = true
+		}
+		if u.Resource == L2 && u.Util > 0 {
+			t.Error("same-core link should not touch L2")
+		}
+	}
+	if !sawL1 {
+		t.Error("same-core link produced no L1D utilization")
+	}
+}
+
+func TestProfileDump(t *testing.T) {
+	m := UltraSPARCT2Machine()
+	d := computeDemand()
+	prof, err := m.SolveProfile([]Task{{Demand: d, Group: 0}}, nil, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	prof.Dump(&b, 5)
+	out := b.String()
+	if !strings.Contains(out, "total rate") || !strings.Contains(out, "IEU") {
+		t.Errorf("dump output:\n%s", out)
+	}
+	// Hottest with n larger than available is clamped.
+	if len(prof.Hottest(1000)) != len(prof.Uses) {
+		t.Error("Hottest clamp")
+	}
+}
+
+func TestSolveProfileErrorPropagation(t *testing.T) {
+	m := UltraSPARCT2Machine()
+	if _, err := m.SolveProfile(nil, nil, nil); err == nil {
+		t.Error("no-task error not propagated")
+	}
+}

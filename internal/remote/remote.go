@@ -1,0 +1,187 @@
+// Package remote runs measurement campaigns against a testbed on another
+// machine, mirroring the paper's physical setup (one T5220 generating
+// traffic, one executing assignments, §4): a Server wraps any core.Runner —
+// typically the simulated testbed here, a thread-pinning harness on real
+// hardware — behind a line-oriented JSON protocol, and a Client implements
+// core.Runner over the connection, so CollectSample, Iterate and the whole
+// statistical pipeline drive a remote machine unchanged.
+//
+// Protocol (newline-delimited JSON over TCP):
+//
+//	server → client  hello:    {"topology":{...},"tasks":N,"name":"..."}
+//	client → server  request:  {"id":1,"ctx":[...]}
+//	server → client  response: {"id":1,"perf":1.23e6} | {"id":1,"error":"..."}
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"optassign/internal/assign"
+	"optassign/internal/core"
+	"optassign/internal/t2"
+)
+
+// Hello is the server's greeting: what workload this testbed measures.
+type Hello struct {
+	Topology t2.Topology `json:"topology"`
+	Tasks    int         `json:"tasks"`
+	Name     string      `json:"name,omitempty"`
+}
+
+// Request asks for one assignment to be executed and measured.
+type Request struct {
+	ID  uint64 `json:"id"`
+	Ctx []int  `json:"ctx"`
+}
+
+// Response carries the measurement or the failure.
+type Response struct {
+	ID    uint64  `json:"id"`
+	Perf  float64 `json:"perf,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+// Server exposes a Runner to remote clients.
+type Server struct {
+	Runner core.Runner
+	Topo   t2.Topology
+	Tasks  int
+	Name   string
+}
+
+// Serve accepts connections until the listener closes. Each connection is
+// handled on its own goroutine; requests within a connection are processed
+// in order (measurements on one machine are inherently serial anyway).
+func (s *Server) Serve(l net.Listener) error {
+	if s.Runner == nil {
+		return errors.New("remote: server has no runner")
+	}
+	if err := s.Topo.Validate(); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Hello{Topology: s.Topo, Tasks: s.Tasks, Name: s.Name}); err != nil {
+		return
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or garbage: drop the connection
+		}
+		resp := Response{ID: req.ID}
+		a := assign.Assignment{Topo: s.Topo, Ctx: req.Ctx}
+		switch {
+		case len(req.Ctx) != s.Tasks:
+			resp.Error = fmt.Sprintf("remote: assignment has %d tasks, testbed runs %d", len(req.Ctx), s.Tasks)
+		default:
+			perf, err := s.Runner.Measure(a)
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.Perf = perf
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a core.Runner that measures on a remote Server.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	enc   *json.Encoder
+	dec   *json.Decoder
+	hello Hello
+	next  uint64
+}
+
+// Dial connects to a measurement server and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (e.g. from a custom dialer or
+// an in-memory pipe in tests).
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+	if err := c.dec.Decode(&c.hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: handshake: %w", err)
+	}
+	if err := c.hello.Topology.Validate(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: server announced invalid topology: %w", err)
+	}
+	return c, nil
+}
+
+// Hello returns the server's announcement.
+func (c *Client) Hello() Hello { return c.hello }
+
+// Topology returns the remote machine's topology.
+func (c *Client) Topology() t2.Topology { return c.hello.Topology }
+
+// Tasks returns the remote workload's task count.
+func (c *Client) Tasks() int { return c.hello.Tasks }
+
+// Measure implements core.Runner over the wire.
+func (c *Client) Measure(a assign.Assignment) (float64, error) {
+	if a.Topo != c.hello.Topology {
+		return 0, fmt.Errorf("remote: assignment topology %v differs from server's %v", a.Topo, c.hello.Topology)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req := Request{ID: c.next, Ctx: a.Ctx}
+	if err := c.enc.Encode(req); err != nil {
+		return 0, fmt.Errorf("remote: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, fmt.Errorf("remote: server closed the connection")
+		}
+		return 0, fmt.Errorf("remote: receive: %w", err)
+	}
+	if resp.ID != req.ID {
+		return 0, fmt.Errorf("remote: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return 0, fmt.Errorf("remote: server: %s", resp.Error)
+	}
+	return resp.Perf, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

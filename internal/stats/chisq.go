@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquared is the chi-squared distribution with K degrees of freedom.
+// Wilks' theorem (used in §3.3.2 Step 4 of the paper to compute the UPB
+// confidence interval) states that twice the log-likelihood-ratio statistic
+// converges to a chi-squared distribution with df1−df2 degrees of freedom.
+type ChiSquared struct {
+	K float64 // degrees of freedom, > 0
+}
+
+// CDF returns P(X <= x).
+func (c ChiSquared) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegularizedGammaP(c.K/2, x/2)
+}
+
+// PDF returns the probability density at x.
+func (c ChiSquared) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if c.K < 2 {
+			return math.Inf(1)
+		}
+		if c.K == 2 {
+			return 0.5
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(c.K / 2)
+	return math.Exp((c.K/2-1)*math.Log(x) - x/2 - c.K/2*math.Ln2 - lg)
+}
+
+// Quantile returns the p-quantile (inverse CDF) for p in (0, 1).
+//
+// For K == 1 the quantile has the closed form (√2 · erf⁻¹(p))², used both
+// directly and as a cross-check in tests; for other K a bracketed bisection
+// with Newton polish on the CDF is used.
+func (c ChiSquared) Quantile(p float64) (float64, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: chi-squared quantile needs p in (0,1), got %v", p)
+	}
+	if c.K == 1 {
+		z := math.Sqrt2 * ErfInv(p)
+		return z * z, nil
+	}
+	// Bracket: mean is K, variance 2K; expand until CDF crosses p.
+	lo, hi := 0.0, c.K+10*math.Sqrt(2*c.K)+10
+	for c.CDF(hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("stats: chi-squared quantile failed to bracket p=%v", p)
+		}
+	}
+	x := c.K // start at the mean
+	for i := 0; i < 200; i++ {
+		f := c.CDF(x) - p
+		if math.Abs(f) < 1e-13 {
+			return x, nil
+		}
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		// Newton step when it stays inside the bracket, else bisection.
+		d := c.PDF(x)
+		var next float64
+		if d > 0 {
+			next = x - f/d
+		}
+		if !(next > lo && next < hi) || d <= 0 {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-x) < 1e-14*math.Max(1, x) {
+			return next, nil
+		}
+		x = next
+	}
+	return x, nil
+}
+
+// Chi2Quantile1DF returns the (1−alpha)-level quantile of the chi-squared
+// distribution with one degree of freedom — the constant that appears in the
+// paper's Equation (1). For alpha = 0.05 it is ≈ 3.8415.
+func Chi2Quantile1DF(alpha float64) (float64, error) {
+	return ChiSquared{K: 1}.Quantile(1 - alpha)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DKWBand is a simultaneous confidence band for a CDF estimated by an ECDF:
+// by the Dvoretzky–Kiefer–Wolfowitz inequality, with probability at least
+// 1−alpha the true CDF lies within ±epsilon of the empirical one
+// everywhere, with
+//
+//	epsilon = sqrt(ln(2/alpha) / (2n)).
+//
+// The paper builds empirical CDFs of assignment populations (§3.2, Fig. 3);
+// the band quantifies how much an ECDF built from a *sample* can deviate
+// from the population CDF — and why the extreme tail needs EVT instead.
+type DKWBand struct {
+	ECDF    *ECDF
+	Epsilon float64
+	Alpha   float64
+}
+
+// NewDKWBand wraps an ECDF with its (1−alpha) simultaneous band.
+func NewDKWBand(e *ECDF, alpha float64) (*DKWBand, error) {
+	if e == nil || e.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("stats: DKW alpha must be in (0,1), got %v", alpha)
+	}
+	return &DKWBand{
+		ECDF:    e,
+		Epsilon: math.Sqrt(math.Log(2/alpha) / (2 * float64(e.Len()))),
+		Alpha:   alpha,
+	}, nil
+}
+
+// Bounds returns the band's lower and upper CDF values at x, clamped to
+// [0, 1].
+func (b *DKWBand) Bounds(x float64) (lo, hi float64) {
+	f := b.ECDF.At(x)
+	lo = f - b.Epsilon
+	hi = f + b.Epsilon
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Contains reports whether a candidate CDF value at x is consistent with
+// the band.
+func (b *DKWBand) Contains(x, cdf float64) bool {
+	lo, hi := b.Bounds(x)
+	return cdf >= lo && cdf <= hi
+}
+
+// RequiredSampleSize returns the number of observations needed for a
+// (1−alpha) DKW band of half-width at most epsilon:
+// n = ⌈ln(2/alpha) / (2 ε²)⌉.
+func RequiredSampleSizeDKW(epsilon, alpha float64) (int, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("stats: DKW epsilon must be in (0,1), got %v", epsilon)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("stats: DKW alpha must be in (0,1), got %v", alpha)
+	}
+	n := math.Log(2/alpha) / (2 * epsilon * epsilon)
+	return int(math.Ceil(n - 1e-12)), nil
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDKWBandBasics(t *testing.T) {
+	xs := make([]float64, 400)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	band, err := NewDKWBand(NewECDF(xs), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if band.Epsilon <= 0 || band.Epsilon > 0.1 {
+		t.Errorf("epsilon = %v for n=400", band.Epsilon)
+	}
+	// The true CDF (uniform) should be inside the band on a grid — the
+	// guarantee holds with 95% probability; with this fixed seed it holds.
+	for x := 0.05; x < 1; x += 0.05 {
+		if !band.Contains(x, x) {
+			lo, hi := band.Bounds(x)
+			t.Errorf("true CDF %v outside band [%v, %v] at x=%v", x, lo, hi, x)
+		}
+	}
+	// Bounds clamp to [0,1].
+	lo, hi := band.Bounds(-5)
+	if lo != 0 || hi > 1 {
+		t.Errorf("bounds at -5: [%v, %v]", lo, hi)
+	}
+	lo, hi = band.Bounds(5)
+	if hi != 1 || lo < 0 {
+		t.Errorf("bounds at 5: [%v, %v]", lo, hi)
+	}
+}
+
+func TestDKWBandErrors(t *testing.T) {
+	if _, err := NewDKWBand(nil, 0.05); err == nil {
+		t.Error("nil ECDF accepted")
+	}
+	if _, err := NewDKWBand(NewECDF(nil), 0.05); err == nil {
+		t.Error("empty ECDF accepted")
+	}
+	if _, err := NewDKWBand(NewECDF([]float64{1}), 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewDKWBand(NewECDF([]float64{1}), 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}
+
+func TestRequiredSampleSizeDKW(t *testing.T) {
+	// Half-width 0.05 at 95%: n = ln(40)/(2·0.0025) ≈ 738.
+	n, err := RequiredSampleSizeDKW(0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 730 || n > 745 {
+		t.Errorf("n = %d, want ≈ 738", n)
+	}
+	// Consistency: a sample of exactly n has epsilon <= requested.
+	xs := make([]float64, n)
+	band, err := NewDKWBand(NewECDF(xs), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if band.Epsilon > 0.05+1e-9 {
+		t.Errorf("epsilon = %v > 0.05 at the required n", band.Epsilon)
+	}
+	if _, err := RequiredSampleSizeDKW(0, 0.05); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, err := RequiredSampleSizeDKW(0.05, 2); err == nil {
+		t.Error("alpha=2 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+// The paper (§3.2) uses the ECDF of measured assignment performance to show
+// which portion of the population performs well; it is a good estimator of
+// the body of the true CDF but — as the paper stresses — not of its extreme
+// right tail, which is why the EVT machinery in internal/evt exists.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied.
+func NewECDF(xs []float64) *ECDF {
+	return &ECDF{sorted: SortedCopy(xs)}
+}
+
+// Len returns the number of observations behind the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns F̂(x) = (#observations <= x) / n.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of elements <= x, so search for the first element > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile of the underlying sample.
+func (e *ECDF) Quantile(p float64) float64 { return Quantile(e.sorted, p) }
+
+// Min returns the smallest observation.
+func (e *ECDF) Min() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return e.sorted[0]
+}
+
+// Max returns the largest observation.
+func (e *ECDF) Max() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return e.sorted[len(e.sorted)-1]
+}
+
+// Points returns (x, F̂(x)) pairs suitable for plotting: one point per
+// observation, using the right-continuous step value at each observation.
+func (e *ECDF) Points() (xs, ps []float64) {
+	n := len(e.sorted)
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i, x := range e.sorted {
+		xs[i] = x
+		ps[i] = float64(i+1) / float64(n)
+	}
+	return xs, ps
+}
+
+// Sorted exposes the sorted backing sample (callers must not modify it).
+func (e *ECDF) Sorted() []float64 { return e.sorted }

@@ -1,0 +1,53 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-width-bin histogram over a closed interval.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int // total observations, including clamped outliers
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi]. Observations outside the range are clamped into the first or
+// last bin so that N always equals len(xs).
+func NewHistogram(xs []float64, bins int, lo, hi float64) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int(math.Floor((x - lo) / width))
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.N++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// MaxCount returns the largest bin count (useful for scaling ASCII plots).
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
