@@ -7,15 +7,23 @@
 // Usage:
 //
 //	measured [-addr :9120] [-benchmark IPFwd-L1] [-instances 8] [-seed 1]
+//	         [-read-timeout 5m] [-drain 10s]
 //
-// Drive it with cmd/optassign -connect host:9120.
+// Drive it with cmd/optassign -connect host:9120. Idle connections are
+// reaped after -read-timeout so dead controllers don't leak handlers;
+// SIGINT/SIGTERM drains live connections for up to -drain, then exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"optassign/internal/apps"
 	"optassign/internal/netdps"
@@ -31,6 +39,8 @@ func main() {
 	benchmark := flag.String("benchmark", "IPFwd-L1", "benchmark name (see cmd/optassign)")
 	instances := flag.Int("instances", 8, "pipeline instances")
 	seed := flag.Int64("seed", 1, "testbed seed")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "drop a connection idle for this long (0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for live connections to finish")
 	flag.Parse()
 
 	app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
@@ -48,11 +58,24 @@ func main() {
 	fmt.Printf("serving %s (%d tasks on %s) at %s\n",
 		app.Name(), tb.TaskCount(), tb.Machine.Topo, l.Addr())
 	srv := &remote.Server{
-		Runner: tb,
-		Topo:   tb.Machine.Topo,
-		Tasks:  tb.TaskCount(),
-		Name:   app.Name(),
+		Runner:      tb,
+		Topo:        tb.Machine.Topo,
+		Tasks:       tb.TaskCount(),
+		Name:        app.Name(),
+		ReadTimeout: *readTimeout,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Println("shutting down, draining connections")
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+		}
+	}()
 	if err := srv.Serve(l); err != nil {
 		log.Fatal(err)
 	}

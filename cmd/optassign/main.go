@@ -8,16 +8,27 @@
 //
 //	optassign [-benchmark IPFwd-L1] [-instances 8] [-loss 2.5]
 //	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
+//	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
+//
+// Fault tolerance: -retries/-timeout wrap the measurement source in a
+// resilient runner (retry with backoff, quarantine after the budget);
+// -journal write-ahead logs every measurement so -resume restarts a killed
+// campaign from its checkpoint, re-measuring nothing. Ctrl-C stops the
+// campaign cleanly at a measurement boundary.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"optassign/internal/apps"
+	"optassign/internal/assign"
 	"optassign/internal/campaign"
 	"optassign/internal/core"
 	"optassign/internal/netdps"
@@ -41,10 +52,18 @@ func main() {
 	verbose := flag.Bool("v", false, "print every iteration")
 	record := flag.String("record", "", "write every measurement to this campaign file (JSON lines)")
 	connect := flag.String("connect", "", "measure on a remote testbed served by cmd/measured at this address")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 disables)")
+	retries := flag.Int("retries", 0, "retries per measurement before quarantining it (0 disables the resilient wrapper unless -timeout is set)")
+	journalPath := flag.String("journal", "", "write-ahead journal file: every measurement is persisted as it completes")
+	resume := flag.Bool("resume", false, "resume the campaign from the -journal file instead of starting over")
 	flag.Parse()
 
+	if *resume && *journalPath == "" {
+		log.Fatal("-resume needs -journal")
+	}
+
 	var (
-		runner core.Runner
+		runner core.ContextRunner
 		topo   t2.Topology
 		tasks  int
 		name   string
@@ -66,7 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runner, topo, tasks, name = tb, tb.Machine.Topo, tb.TaskCount(), app.Name()
+		runner, topo, tasks, name = core.AsContextRunner(tb), tb.Machine.Topo, tb.TaskCount(), app.Name()
 		fmt.Printf("benchmark %s: %d instances (%d tasks) on %s\n", name, *instances, tasks, topo)
 	}
 
@@ -79,13 +98,65 @@ func main() {
 		MaxSamples:    *maxSamples,
 		Seed:          *seed,
 	}
+
+	// Resilience layer: retry transient failures with backoff, quarantine
+	// the incurable instead of aborting the campaign.
+	if *retries > 0 || *timeout > 0 {
+		rcfg := core.ResilientConfig{
+			MaxAttempts: *retries + 1,
+			Timeout:     *timeout,
+			Seed:        *seed,
+		}
+		if *verbose {
+			rcfg.OnRetry = func(a assign.Assignment, attempt int, err error) {
+				log.Printf("retrying %s (attempt %d failed: %v)", a, attempt, err)
+			}
+		}
+		runner = core.NewResilientRunner(core.AsRunner(runner), rcfg)
+	}
+
+	// Write-ahead journal: every completed measurement hits disk before
+	// the next one starts, so a killed campaign resumes from where it was.
+	if *journalPath != "" {
+		h := campaign.JournalHeader{Benchmark: name, Topo: topo, Tasks: tasks, Seed: *seed}
+		var (
+			j   *campaign.Journal
+			err error
+		)
+		if *resume {
+			var st *campaign.JournalState
+			j, st, err = campaign.ResumeJournal(*journalPath, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Resume = st.Results
+			cfg.ResumeDraws = st.Draws
+			fmt.Printf("resuming from %s: %d measurements recovered (%d quarantined)\n",
+				*journalPath, len(st.Results), st.Quarantined)
+		} else {
+			j, err = campaign.CreateJournal(*journalPath, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		defer j.Close()
+		runner = campaign.JournalRunner{Journal: j, Runner: runner}
+	}
+
 	var recorded *campaign.Campaign
 	if *record != "" {
 		recorded = campaign.New(name, topo, *seed)
-		runner = campaign.Recorder{Campaign: recorded, Runner: runner}
+		runner = campaign.Recorder{Campaign: recorded, Runner: core.AsRunner(runner)}
 	}
-	res, err := core.Iterate(cfg, runner)
-	if err != nil && !errors.Is(err, core.ErrBudgetExhausted) {
+
+	// Ctrl-C / SIGTERM stops the campaign at a measurement boundary; the
+	// journal keeps everything completed so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := core.IterateContext(ctx, cfg, runner)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !errors.Is(err, core.ErrBudgetExhausted) && !interrupted {
 		log.Fatal(err)
 	}
 	if recorded != nil {
@@ -101,6 +172,14 @@ func main() {
 		}
 		fmt.Printf("recorded %d measurements to %s\n", recorded.Len(), *record)
 	}
+	if interrupted {
+		fmt.Printf("interrupted after %d measurements", res.Samples)
+		if *journalPath != "" {
+			fmt.Printf("; re-run with -resume to continue from %s", *journalPath)
+		}
+		fmt.Println()
+		os.Exit(3)
+	}
 
 	if *verbose {
 		for _, step := range res.History {
@@ -111,6 +190,9 @@ func main() {
 	}
 
 	fmt.Printf("executed %d random assignments\n", res.Samples)
+	if n := len(res.Quarantined); n > 0 {
+		fmt.Printf("quarantined %d assignment(s) whose measurements kept failing; they are excluded from the sample\n", n)
+	}
 	fmt.Printf("best assignment: %s\n", res.Best.Assignment)
 	fmt.Printf("  measured performance:   %.6g PPS\n", res.Best.Perf)
 	fmt.Printf("  estimated optimum:      %.6g PPS (0.95 CI [%.6g, %.6g])\n",

@@ -8,12 +8,18 @@
 // costs ~1.5 s of testbed time on real hardware, so the campaign length is
 // a budget decision — and the planner says what more budget would buy.
 //
+// To make the fault-tolerance stack visible, the wire here is hostile on
+// purpose: a fault-injection proxy kills the connection every 250 frames,
+// and the campaign still completes because the reconnecting client redials
+// and the resilient wrapper retries the interrupted measurement.
+//
 // Run with:
 //
 //	go run ./examples/remotecampaign
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,6 +29,7 @@ import (
 	"optassign/internal/apps"
 	"optassign/internal/core"
 	"optassign/internal/evt"
+	"optassign/internal/faulty"
 	"optassign/internal/netdps"
 	"optassign/internal/remote"
 )
@@ -50,8 +57,15 @@ func main() {
 		}
 	}()
 
+	// --- A deliberately unreliable network in between. ------------------
+	proxy, err := faulty.NewProxy(l.Addr().String(), 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+
 	// --- The "controller machine": everything below uses only the wire. -
-	client, err := remote.Dial(l.Addr().String())
+	client, err := remote.Dial(proxy.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,13 +73,23 @@ func main() {
 	fmt.Printf("connected to remote testbed %q: %d tasks on %s\n",
 		client.Hello().Name, client.Tasks(), client.Topology())
 
+	// Retry dropped measurements with backoff; quarantine anything that
+	// keeps failing instead of aborting the campaign.
+	resilient := core.NewResilientRunner(client, core.ResilientConfig{
+		MaxAttempts: 5,
+		Timeout:     10 * time.Second,
+		BaseDelay:   10 * time.Millisecond,
+	})
+
 	const n = 2000
 	start := time.Now()
 	rng := rand.New(rand.NewSource(7))
-	results, err := core.CollectSample(rng, client.Topology(), client.Tasks(), n, client)
+	results, skipped, err := core.CollectSampleContext(context.Background(), rng, client.Topology(), client.Tasks(), n, resilient)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("the proxy cut the connection %d times; %d measurements quarantined, %d completed\n",
+		proxy.Cuts(), len(skipped), len(results))
 	est, err := core.EstimateOptimal(core.Perfs(results), evt.POTOptions{})
 	if err != nil {
 		log.Fatal(err)

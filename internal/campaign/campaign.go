@@ -8,6 +8,7 @@ package campaign
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -177,6 +178,17 @@ type Recorder struct {
 // Measure implements core.Runner.
 func (r Recorder) Measure(a assign.Assignment) (float64, error) {
 	perf, err := r.Runner.Measure(a)
+	if err != nil {
+		return 0, err
+	}
+	r.Campaign.Add(a, perf)
+	return perf, nil
+}
+
+// MeasureContext implements core.ContextRunner, so a Recorder can sit
+// anywhere in a fault-tolerant measurement stack.
+func (r Recorder) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
+	perf, err := core.AsContextRunner(r.Runner).MeasureContext(ctx, a)
 	if err != nil {
 		return 0, err
 	}

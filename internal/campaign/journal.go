@@ -1,0 +1,293 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"optassign/internal/assign"
+	"optassign/internal/core"
+	"optassign/internal/t2"
+)
+
+// JournalVersion identifies the write-ahead journal's on-disk layout. It
+// is versioned alongside FormatVersion but evolves independently: the
+// journal is an execution log (it keeps quarantined failures and a draw
+// count), the campaign file is the cleaned result.
+const JournalVersion = 1
+
+// JournalHeader is the journal's first JSON line: enough identity to
+// refuse resuming against the wrong testbed or the wrong seed.
+type JournalHeader struct {
+	Format    int         `json:"format"`
+	Benchmark string      `json:"benchmark,omitempty"`
+	Topo      t2.Topology `json:"topology"`
+	Tasks     int         `json:"tasks"`
+	Seed      int64       `json:"seed,omitempty"`
+}
+
+// JournalEntry is one completed measurement attempt: a performance for a
+// successful one, an error string for a quarantined one. Seq numbers the
+// entries from 1 so a resumed run can fast-forward its RNG by exactly the
+// draws the interrupted run consumed.
+type JournalEntry struct {
+	Seq   int     `json:"seq"`
+	Ctx   []int   `json:"ctx"`
+	Perf  float64 `json:"perf,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+// Journal is a write-ahead measurement log: every measurement is appended
+// (and pushed to the OS) as it completes, so a killed campaign loses at
+// most the measurement in flight. At ~1.5 s of testbed time per
+// measurement (§5.4) that turns a crash from "lose 2 hours" into "lose
+// 1.5 seconds". It is safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	header JournalHeader
+	seq    int
+	closed bool
+}
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// one) and writes its header.
+func CreateJournal(path string, h JournalHeader) (*Journal, error) {
+	h.Format = JournalVersion
+	if err := h.Topo.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: journal header: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, header: h}
+	if err := j.writeLine(h); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal reopens an existing journal for appending: it loads and
+// verifies the journaled state against h (topology, task count, seed, and
+// benchmark when both name one), then continues the sequence where the
+// interrupted run stopped. The returned state is what the caller feeds to
+// core.IterConfig.Resume / ResumeDraws.
+func ResumeJournal(path string, h JournalHeader) (*Journal, *JournalState, error) {
+	st, err := LoadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Header.Topo != h.Topo {
+		return nil, nil, fmt.Errorf("campaign: journal topology %v does not match testbed %v", st.Header.Topo, h.Topo)
+	}
+	if st.Header.Tasks != h.Tasks {
+		return nil, nil, fmt.Errorf("campaign: journal has %d tasks, testbed runs %d", st.Header.Tasks, h.Tasks)
+	}
+	if st.Header.Seed != h.Seed {
+		return nil, nil, fmt.Errorf("campaign: journal seed %d does not match campaign seed %d (resume would draw different assignments)", st.Header.Seed, h.Seed)
+	}
+	if st.Header.Benchmark != "" && h.Benchmark != "" && st.Header.Benchmark != h.Benchmark {
+		return nil, nil, fmt.Errorf("campaign: journal benchmark %q does not match %q", st.Header.Benchmark, h.Benchmark)
+	}
+	if st.Truncated {
+		// The crash left a partial final line; cut it off so the next
+		// append starts on a fresh, well-formed line.
+		if err := os.Truncate(path, st.validBytes); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{f: f, header: st.Header, seq: st.Draws}, st, nil
+}
+
+// Header returns the journal's identity line.
+func (j *Journal) Header() JournalHeader { return j.header }
+
+// Len returns how many entries have been journaled, including entries
+// recovered by ResumeJournal.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Append journals one successful measurement.
+func (j *Journal) Append(a assign.Assignment, perf float64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeLine(JournalEntry{Seq: j.seq + 1, Ctx: a.Ctx, Perf: perf})
+}
+
+// AppendFailure journals one quarantined measurement: the draw is
+// consumed, the result is not usable.
+func (j *Journal) AppendFailure(a assign.Assignment, measureErr error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	msg := "measurement failed"
+	if measureErr != nil {
+		msg = measureErr.Error()
+	}
+	return j.writeLine(JournalEntry{Seq: j.seq + 1, Ctx: a.Ctx, Error: msg})
+}
+
+// writeLine marshals v and appends it as one line. Callers hold j.mu
+// (except construction). The write goes straight to the file descriptor —
+// no userspace buffering — so a crashed process loses nothing that
+// Append returned success for.
+func (j *Journal) writeLine(v any) error {
+	if j.closed {
+		return errors.New("campaign: journal is closed")
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: journal encode: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("campaign: journal write: %w", err)
+	}
+	if e, ok := v.(JournalEntry); ok {
+		j.seq = e.Seq
+	}
+	return nil
+}
+
+// Sync forces the journal down to stable storage (power-loss safety; a
+// mere process crash never needs it).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// JournalState is everything recovered from a journal file.
+type JournalState struct {
+	Header JournalHeader
+	// Results are the successful measurements, in execution order —
+	// ready for core.IterConfig.Resume.
+	Results []core.SampleResult
+	// Quarantined counts the journaled failures.
+	Quarantined int
+	// Draws is the total number of assignment draws the journaled run
+	// consumed (successes + quarantines) — core.IterConfig.ResumeDraws.
+	Draws int
+	// Truncated reports that the file ended in a partial line (the
+	// process died mid-append); the fragment was ignored.
+	Truncated bool
+	// validBytes is the length of the well-formed prefix; ResumeJournal
+	// truncates a torn file back to it before appending.
+	validBytes int64
+}
+
+// LoadJournal reads a journal written by Journal, tolerating a torn final
+// line — the expected crash signature for a process killed mid-append.
+// Corruption anywhere else is an error.
+func LoadJournal(path string) (*JournalState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed file ends with '\n', so the final split element is
+	// empty; anything else is a torn tail.
+	tail := lines[len(lines)-1]
+	torn := len(tail) != 0
+	lines = lines[:len(lines)-1]
+
+	st := &JournalState{Truncated: torn, validBytes: int64(len(data) - len(tail))}
+	if len(lines) == 0 {
+		return nil, errors.New("campaign: journal has no header")
+	}
+	if err := json.Unmarshal(lines[0], &st.Header); err != nil {
+		return nil, fmt.Errorf("campaign: journal header: %w", err)
+	}
+	if st.Header.Format != JournalVersion {
+		return nil, fmt.Errorf("campaign: unsupported journal format %d", st.Header.Format)
+	}
+	if err := st.Header.Topo.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: journal header: %w", err)
+	}
+	for i, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("campaign: journal entry %d: %w", i+1, err)
+		}
+		if e.Seq != st.Draws+1 {
+			return nil, fmt.Errorf("campaign: journal entry %d: sequence %d, want %d", i+1, e.Seq, st.Draws+1)
+		}
+		st.Draws = e.Seq
+		if e.Error != "" {
+			st.Quarantined++
+			continue
+		}
+		a := assign.Assignment{Topo: st.Header.Topo, Ctx: e.Ctx}
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: journal entry %d: %w", i+1, err)
+		}
+		st.Results = append(st.Results, core.SampleResult{Assignment: a, Perf: e.Perf})
+	}
+	return st, nil
+}
+
+// Campaign converts the recovered measurements into a regular campaign
+// (quarantined entries dropped), for the save/merge/analyze workflow.
+func (s *JournalState) Campaign() *Campaign {
+	c := New(s.Header.Benchmark, s.Header.Topo, s.Header.Seed)
+	for _, r := range s.Results {
+		c.Add(r.Assignment, r.Perf)
+	}
+	return c
+}
+
+// JournalRunner is a core.ContextRunner middleware that write-ahead logs
+// every completed measurement: successes via Append, quarantines via
+// AppendFailure. Campaign-cancellation errors are not journaled — the
+// draw never completed and the resumed run will re-execute it.
+type JournalRunner struct {
+	Journal *Journal
+	Runner  core.ContextRunner
+}
+
+// MeasureContext implements core.ContextRunner.
+func (r JournalRunner) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
+	perf, err := r.Runner.MeasureContext(ctx, a)
+	switch {
+	case err == nil:
+		if jerr := r.Journal.Append(a, perf); jerr != nil {
+			return 0, jerr
+		}
+	case errors.Is(err, core.ErrQuarantined):
+		if jerr := r.Journal.AppendFailure(a, err); jerr != nil {
+			return 0, jerr
+		}
+	}
+	return perf, err
+}
+
+// Measure implements core.Runner with a background context.
+func (r JournalRunner) Measure(a assign.Assignment) (float64, error) {
+	return r.MeasureContext(context.Background(), a)
+}

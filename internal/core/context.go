@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+
+	"optassign/internal/assign"
+)
+
+// ContextRunner is the context-aware measurement contract: an
+// implementation executes one assignment and reports its performance,
+// honoring ctx for cancellation and per-measurement deadlines. Long
+// campaigns (hours of testbed time, §5.4) need both: a hung measurement
+// must not wedge the whole study, and an operator interrupt must stop the
+// loop at a measurement boundary with everything measured so far intact.
+type ContextRunner interface {
+	MeasureContext(ctx context.Context, a assign.Assignment) (float64, error)
+}
+
+// ContextRunnerFunc adapts a plain function to the ContextRunner interface.
+type ContextRunnerFunc func(ctx context.Context, a assign.Assignment) (float64, error)
+
+// MeasureContext implements ContextRunner.
+func (f ContextRunnerFunc) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
+	return f(ctx, a)
+}
+
+// AsContextRunner upgrades any Runner to a ContextRunner. Runners that
+// already implement MeasureContext (remote clients, the resilient wrapper)
+// are returned as-is; legacy runners are wrapped in a shim that checks ctx
+// before starting a measurement but cannot interrupt one in flight — pair
+// such runners with ResilientRunner's per-attempt timeout if they can hang.
+func AsContextRunner(r Runner) ContextRunner {
+	if cr, ok := r.(ContextRunner); ok {
+		return cr
+	}
+	return legacyRunner{r}
+}
+
+// AsRunner downgrades a ContextRunner to the legacy Runner interface,
+// measuring with a background context. ContextRunners that already
+// implement Measure are returned as-is.
+func AsRunner(cr ContextRunner) Runner {
+	if r, ok := cr.(Runner); ok {
+		return r
+	}
+	return contextOnlyRunner{cr}
+}
+
+type legacyRunner struct{ r Runner }
+
+func (l legacyRunner) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.r.Measure(a)
+}
+
+func (l legacyRunner) Measure(a assign.Assignment) (float64, error) { return l.r.Measure(a) }
+
+type contextOnlyRunner struct{ cr ContextRunner }
+
+func (c contextOnlyRunner) Measure(a assign.Assignment) (float64, error) {
+	return c.cr.MeasureContext(context.Background(), a)
+}
+
+func (c contextOnlyRunner) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
+	return c.cr.MeasureContext(ctx, a)
+}

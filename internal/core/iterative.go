@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
+	"optassign/internal/assign"
 	"optassign/internal/evt"
 	"optassign/internal/t2"
 )
@@ -29,6 +31,17 @@ type IterConfig struct {
 	POT evt.POTOptions
 	// Seed makes the sampled assignments reproducible.
 	Seed int64
+	// Resume seeds the algorithm with measurements recovered from an
+	// interrupted campaign (e.g. a write-ahead journal, see
+	// internal/campaign). They count toward Ninit and MaxSamples, so a
+	// resumed run re-measures nothing it already has.
+	Resume []SampleResult
+	// ResumeDraws is the number of random-assignment draws the resumed
+	// campaign had already consumed — measured plus quarantined. The RNG
+	// is fast-forwarded by this many draws so that, given the same Seed,
+	// a resumed campaign continues the exact assignment sequence the
+	// interrupted one was executing. 0 defaults to len(Resume).
+	ResumeDraws int
 }
 
 func (c IterConfig) withDefaults() IterConfig {
@@ -59,12 +72,26 @@ type IterResult struct {
 	// Final is the last estimate (the one that satisfied the requirement,
 	// or the state at MaxSamples).
 	Final Estimate
-	// Samples is the total number of assignments executed.
+	// Samples is the total number of assignments measured successfully.
+	// Quarantined assignments are not included: the §3.1 capture
+	// probability of the campaign is CaptureProbability(Samples, p).
 	Samples int
+	// Quarantined lists the assignments abandoned by a resilient runner
+	// after exhausting their retry budget. They consumed draws (and
+	// testbed time) but contribute nothing to the sample.
+	Quarantined []Skipped
 	// Satisfied reports whether the acceptable-loss requirement was met.
 	Satisfied bool
 	// History holds every round's estimate, for convergence studies.
 	History []IterStep
+}
+
+// CaptureProb returns the §3.1 probability that this campaign's measured
+// sample contains at least one of the best-performing topPct% of all
+// assignments. It deliberately counts only successful measurements, so
+// quarantined failures do not inflate the claimed coverage.
+func (r IterResult) CaptureProb(topPct float64) (float64, error) {
+	return CaptureProbability(r.Samples, topPct)
 }
 
 // ErrBudgetExhausted is returned when MaxSamples assignments have been
@@ -85,19 +112,52 @@ var ErrBudgetExhausted = errors.New("core: sample budget exhausted before reachi
 // (§3.1) and tighten the estimate (§5.2), so the loop converges from both
 // sides.
 func Iterate(cfg IterConfig, runner Runner) (IterResult, error) {
+	return IterateContext(context.Background(), cfg, AsContextRunner(runner))
+}
+
+// IterateContext is the fault-tolerant Iterate: measurements run under ctx
+// (cancellation stops the campaign at a measurement boundary, returning
+// everything measured so far alongside ctx's error), quarantined
+// assignments are skipped rather than fatal, and cfg.Resume restarts an
+// interrupted campaign from its checkpoint instead of from zero.
+func IterateContext(ctx context.Context, cfg IterConfig, runner ContextRunner) (IterResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.AcceptLossPct <= 0 {
 		return IterResult{}, fmt.Errorf("core: acceptable loss must be positive, got %v", cfg.AcceptLossPct)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	results, err := CollectSample(rng, cfg.Topo, cfg.Tasks, cfg.Ninit, runner)
-	if err != nil {
-		return IterResult{}, err
-	}
+	results := append([]SampleResult(nil), cfg.Resume...)
 	var res IterResult
+	if draws := cfg.resumeDraws(); draws > 0 {
+		// Fast-forward the RNG past the draws the interrupted campaign
+		// already consumed: with the same Seed, the resumed campaign
+		// continues the identical assignment sequence.
+		if _, err := assign.Sample(rng, cfg.Topo, cfg.Tasks, draws); err != nil {
+			return IterResult{}, fmt.Errorf("core: resume fast-forward: %w", err)
+		}
+	}
+	// collect measures `add` fresh draws, accumulating quarantines.
+	collect := func(add int) error {
+		more, skipped, err := CollectSampleContext(ctx, rng, cfg.Topo, cfg.Tasks, add, runner)
+		results = append(results, more...)
+		res.Quarantined = append(res.Quarantined, skipped...)
+		return err
+	}
+	if need := cfg.Ninit - len(results); need > 0 {
+		if err := collect(need); err != nil {
+			res.Samples = len(results)
+			if len(results) > 0 {
+				res.Best = results[Best(results)]
+			}
+			return res, err
+		}
+	}
 	for {
 		res.Samples = len(results)
+		if len(results) == 0 {
+			return res, fmt.Errorf("core: every assignment of the initial sample was quarantined: %w", ErrQuarantined)
+		}
 		res.Best = results[Best(results)]
 		est, err := EstimateOptimal(Perfs(results), cfg.POT)
 		switch {
@@ -119,17 +179,27 @@ func Iterate(cfg IterConfig, runner Runner) (IterResult, error) {
 				return res, nil
 			}
 		}
-		if len(results) >= cfg.MaxSamples {
+		// Quarantined draws count against the budget too: at a 100%
+		// failure rate the loop must still terminate.
+		drawn := len(results) + len(res.Quarantined)
+		if drawn >= cfg.MaxSamples {
 			return res, ErrBudgetExhausted
 		}
 		add := cfg.Ndelta
-		if room := cfg.MaxSamples - len(results); add > room {
+		if room := cfg.MaxSamples - drawn; add > room {
 			add = room
 		}
-		more, err := CollectSample(rng, cfg.Topo, cfg.Tasks, add, runner)
-		if err != nil {
+		if err := collect(add); err != nil {
+			res.Samples = len(results)
+			res.Best = results[Best(results)]
 			return res, err
 		}
-		results = append(results, more...)
 	}
+}
+
+func (c IterConfig) resumeDraws() int {
+	if c.ResumeDraws > 0 {
+		return c.ResumeDraws
+	}
+	return len(c.Resume)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -52,22 +54,63 @@ func Perfs(results []SampleResult) []float64 {
 
 // CollectSample generates n iid random assignments of `tasks` tasks on
 // topo (the paper's §3.3.2 Step 1), measures each with the runner, and
-// returns the results in execution order.
+// returns the results in execution order. Any measurement failure —
+// including a quarantine — aborts the sample; use CollectSampleContext for
+// the degrade-gracefully semantics of long campaigns.
 func CollectSample(rng *rand.Rand, topo t2.Topology, tasks, n int, runner Runner) ([]SampleResult, error) {
 	if runner == nil {
 		return nil, fmt.Errorf("core: nil runner")
 	}
-	as, err := assign.Sample(rng, topo, tasks, n)
+	results, skipped, err := CollectSampleContext(context.Background(), rng, topo, tasks, n, AsContextRunner(runner))
 	if err != nil {
 		return nil, err
 	}
-	results := make([]SampleResult, 0, n)
-	for _, a := range as {
-		perf, err := runner.Measure(a)
-		if err != nil {
-			return nil, fmt.Errorf("core: measuring assignment: %w", err)
-		}
-		results = append(results, SampleResult{Assignment: a, Perf: perf})
+	if len(skipped) > 0 {
+		return nil, fmt.Errorf("core: measuring assignment: %w", skipped[0].Err)
 	}
 	return results, nil
+}
+
+// Skipped records an assignment that was drawn for a sample but never
+// yielded a measurement because its runner quarantined it.
+type Skipped struct {
+	Assignment assign.Assignment
+	Err        error
+}
+
+// CollectSampleContext is the fault-tolerant CollectSample: it draws the
+// same n iid assignments from rng, measures them under ctx, and degrades
+// gracefully — an assignment whose measurement reports ErrQuarantined (see
+// ResilientRunner) is recorded in skipped and the campaign continues, so
+// partial testbed failures cost only the quarantined points. Any other
+// error (including ctx cancellation) aborts and returns the results
+// measured so far, so a journaling caller keeps everything completed.
+//
+// Sample-size accounting (§3.1): only len(results) measurements contribute
+// to the capture probability — compute it with
+// CaptureProbability(len(results), p), not with the number drawn.
+func CollectSampleContext(ctx context.Context, rng *rand.Rand, topo t2.Topology, tasks, n int, runner ContextRunner) (results []SampleResult, skipped []Skipped, err error) {
+	if runner == nil {
+		return nil, nil, fmt.Errorf("core: nil runner")
+	}
+	as, err := assign.Sample(rng, topo, tasks, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	results = make([]SampleResult, 0, n)
+	for _, a := range as {
+		if err := ctx.Err(); err != nil {
+			return results, skipped, err
+		}
+		perf, err := runner.MeasureContext(ctx, a)
+		switch {
+		case err == nil:
+			results = append(results, SampleResult{Assignment: a, Perf: perf})
+		case errors.Is(err, ErrQuarantined):
+			skipped = append(skipped, Skipped{Assignment: a, Err: err})
+		default:
+			return results, skipped, fmt.Errorf("core: measuring assignment: %w", err)
+		}
+	}
+	return results, skipped, nil
 }

@@ -27,6 +27,12 @@ var SuiteNames = []string{"Aho-Corasick", "IPFwd-L1", "IPFwd-Mem", "Packet-analy
 type Env struct {
 	Seed    int64
 	Profile netgen.Profile
+	// Resilience, when set, wraps every campaign measurement in a
+	// core.ResilientRunner with this policy (retry + backoff + per-attempt
+	// timeout). Pointless against the in-process simulator, essential when
+	// the same experiments drive flaky real hardware; cmd/paperbench
+	// exposes it as -timeout/-retries.
+	Resilience *core.ResilientConfig
 
 	mu       sync.Mutex
 	testbeds map[string]*netdps.Testbed
@@ -81,7 +87,11 @@ func (e *Env) Sample(name string, n int) ([]core.SampleResult, error) {
 		// by regenerating the prefix, so Sample(name, 1000) is always a
 		// prefix of Sample(name, 5000).
 		rng := rand.New(rand.NewSource(e.Seed*7919 + int64(len(name))))
-		all, err := core.CollectSample(rng, tb.Machine.Topo, tb.TaskCount(), n, tb)
+		runner := core.Runner(tb)
+		if e.Resilience != nil {
+			runner = core.NewResilientRunner(runner, *e.Resilience)
+		}
+		all, err := core.CollectSample(rng, tb.Machine.Topo, tb.TaskCount(), n, runner)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,159 @@
+package faulty
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// Proxy sits between a remote.Client and a remote.Server and
+// deterministically kills the link: each proxied connection is cut after
+// DropAfter newline-delimited frames have flowed server→client (the hello
+// counts as one frame). Clients see a clean mid-campaign disconnect —
+// exactly what the reconnecting client must survive.
+type Proxy struct {
+	target    string
+	dropAfter int
+
+	l  net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	cuts   int
+}
+
+// NewProxy listens on a fresh loopback port and forwards connections to
+// target. dropAfter ≤ 0 never drops (a transparent proxy).
+func NewProxy(target string, dropAfter int) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, dropAfter: dropAfter, l: l, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Cuts reports how many connections the proxy has dropped on purpose.
+func (p *Proxy) Cuts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts
+}
+
+// Close stops the proxy and severs every live link.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.l.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		if !p.track(client, server) {
+			return
+		}
+		p.wg.Add(1)
+		go p.pipe(client, server)
+	}
+}
+
+func (p *Proxy) track(conns ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		for _, c := range conns {
+			c.Close()
+		}
+		return false
+	}
+	for _, c := range conns {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (p *Proxy) untrack(conns ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+}
+
+// pipe shuttles bytes both ways, counting server→client frames; at the
+// drop threshold it closes both sides.
+func (p *Proxy) pipe(client, server net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client, server)
+
+	done := make(chan struct{}, 2)
+	// client → server: transparent byte copy.
+	go func() {
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		done <- struct{}{}
+	}()
+	// server → client: frame-counting copy.
+	go func() {
+		r := bufio.NewReader(server)
+		frames := 0
+		for {
+			line, err := r.ReadBytes('\n')
+			if len(line) > 0 {
+				if _, werr := client.Write(line); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+			frames++
+			if p.dropAfter > 0 && frames >= p.dropAfter {
+				p.mu.Lock()
+				p.cuts++
+				p.mu.Unlock()
+				break
+			}
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	// Sever both sides so the peer goroutine unblocks, then wait for it.
+	client.Close()
+	server.Close()
+	<-done
+}

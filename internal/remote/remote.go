@@ -11,16 +11,28 @@
 //	server → client  hello:    {"topology":{...},"tasks":N,"name":"..."}
 //	client → server  request:  {"id":1,"ctx":[...]}
 //	server → client  response: {"id":1,"perf":1.23e6} | {"id":1,"error":"..."}
+//
+// Fault tolerance: the stream is request/response in lockstep, so after
+// any transport error its state is unknown — a later call could pair a
+// stale response with a new request. The Client therefore poisons itself
+// on the first transport error (or garbage / mismatched-ID response),
+// drops the connection, and — when it owns a dialer — transparently
+// redials with backoff and re-handshakes before the next measurement,
+// verifying the server still announces the same topology and task count.
+// Server-reported measurement errors travel inside a well-formed response
+// and do not poison the stream.
 package remote
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"optassign/internal/assign"
 	"optassign/internal/core"
@@ -53,11 +65,26 @@ type Server struct {
 	Topo   t2.Topology
 	Tasks  int
 	Name   string
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests. Without it a dead peer that never closes its socket
+	// pins a handler goroutine forever; with it the handler times out
+	// and the connection is reaped. 0 disables the deadline.
+	ReadTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	closed    bool
 }
 
-// Serve accepts connections until the listener closes. Each connection is
-// handled on its own goroutine; requests within a connection are processed
-// in order (measurements on one machine are inherently serial anyway).
+// ErrServerClosed is returned by Serve after Close or Shutdown.
+var ErrServerClosed = errors.New("remote: server closed")
+
+// Serve accepts connections until the listener closes or the server is
+// shut down. Each connection is handled on its own goroutine; requests
+// within a connection are processed in order (measurements on one machine
+// are inherently serial anyway).
 func (s *Server) Serve(l net.Listener) error {
 	if s.Runner == nil {
 		return errors.New("remote: server has no runner")
@@ -65,29 +92,137 @@ func (s *Server) Serve(l net.Listener) error {
 	if err := s.Topo.Validate(); err != nil {
 		return err
 	}
+	if err := s.trackListener(l); err != nil {
+		return err
+	}
+	defer s.untrackListener(l)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
+			if s.closing() || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		go s.handle(conn)
+		if !s.trackConn(conn) {
+			conn.Close()
+			return nil
+		}
+		go func() {
+			defer s.untrackConn(conn)
+			s.handle(conn)
+		}()
 	}
 }
 
+// Close stops the server immediately: listeners and live connections are
+// closed, then Close waits for every handler goroutine to exit. Serve
+// returns nil. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Shutdown stops the server gracefully: new connections are refused, but
+// live ones keep serving until they disconnect or ctx expires, at which
+// point they are closed like in Close. It returns ctx.Err() if the
+// deadline forced the close, nil if everything drained on its own.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) trackListener(l net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
+	}
+	s.listeners[l] = struct{}{}
+	return nil
+}
+
+func (s *Server) untrackListener(l net.Listener) {
+	s.mu.Lock()
+	delete(s.listeners, l)
+	s.mu.Unlock()
+}
+
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(Hello{Topology: s.Topo, Tasks: s.Tasks, Name: s.Name}); err != nil {
 		return
 	}
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or garbage: drop the connection
+			return // EOF, timeout or garbage: drop the connection
 		}
 		resp := Response{ID: req.ID}
 		a := assign.Assignment{Topo: s.Topo, Ctx: req.Ctx}
@@ -108,42 +243,114 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// Client is a core.Runner that measures on a remote Server.
-type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	enc   *json.Encoder
-	dec   *json.Decoder
-	hello Hello
-	next  uint64
+// ErrStreamBroken marks a client whose request/response stream is in an
+// unknown state after a transport error. A client with a dialer recovers
+// by redialing; one wrapping a raw connection stays poisoned.
+var ErrStreamBroken = errors.New("remote: stream broken")
+
+// ClientConfig tunes the client's reconnect behavior.
+type ClientConfig struct {
+	// Dial re-establishes the transport after the stream breaks. nil
+	// disables reconnection: the first transport error permanently
+	// poisons the client.
+	Dial func() (net.Conn, error)
+	// RedialAttempts bounds how many dials one reconnection tries before
+	// giving up (the measurement then fails; the next measurement tries
+	// again). Default 5.
+	RedialAttempts int
+	// RedialBase and RedialMax shape the backoff between redials:
+	// RedialBase doubling up to RedialMax. Defaults 100 ms and 3 s.
+	RedialBase, RedialMax time.Duration
 }
 
-// Dial connects to a measurement server and performs the handshake.
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.RedialAttempts <= 0 {
+		c.RedialAttempts = 5
+	}
+	if c.RedialBase <= 0 {
+		c.RedialBase = 100 * time.Millisecond
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = 3 * time.Second
+	}
+	return c
+}
+
+// Client is a core.Runner (and core.ContextRunner) that measures on a
+// remote Server, transparently reconnecting when it owns a dialer.
+type Client struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	hello  Hello
+	next   uint64
+	broken bool
+	closed bool
+}
+
+// Dial connects to a measurement server, performs the handshake, and
+// arms automatic reconnection to addr.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(ClientConfig{Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) }})
+}
+
+// DialConfig connects using cfg.Dial and keeps it for reconnection.
+func DialConfig(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dial == nil {
+		return nil, errors.New("remote: DialConfig needs a Dial function")
+	}
+	conn, err := cfg.Dial()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn)
+	c := &Client{cfg: cfg}
+	if err := c.attach(conn, true); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // NewClient wraps an established connection (e.g. from a custom dialer or
-// an in-memory pipe in tests).
+// an in-memory pipe in tests). Without a dialer the client cannot recover
+// from a transport error.
 func NewClient(conn net.Conn) (*Client, error) {
-	c := &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-	}
-	if err := c.dec.Decode(&c.hello); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("remote: handshake: %w", err)
-	}
-	if err := c.hello.Topology.Validate(); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("remote: server announced invalid topology: %w", err)
+	c := &Client{cfg: ClientConfig{}.withDefaults()}
+	if err := c.attach(conn, true); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// attach handshakes on conn and installs it as the client's transport.
+// When first is true the announced Hello becomes the client's identity;
+// on reconnects the announcement must match it.
+func (c *Client) attach(conn net.Conn, first bool) error {
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("remote: handshake: %w", err)
+	}
+	if err := hello.Topology.Validate(); err != nil {
+		conn.Close()
+		return fmt.Errorf("remote: server announced invalid topology: %w", err)
+	}
+	if !first && (hello.Topology != c.hello.Topology || hello.Tasks != c.hello.Tasks) {
+		conn.Close()
+		return core.Permanent(fmt.Errorf("remote: server changed between connections: was %d tasks on %v, now %d tasks on %v",
+			c.hello.Tasks, c.hello.Topology, hello.Tasks, hello.Topology))
+	}
+	c.conn, c.enc, c.dec = conn, enc, dec
+	if first {
+		c.hello = hello
+	}
+	c.broken = false
+	return nil
 }
 
 // Hello returns the server's announcement.
@@ -157,31 +364,131 @@ func (c *Client) Tasks() int { return c.hello.Tasks }
 
 // Measure implements core.Runner over the wire.
 func (c *Client) Measure(a assign.Assignment) (float64, error) {
+	return c.MeasureContext(context.Background(), a)
+}
+
+// MeasureContext implements core.ContextRunner: ctx cancellation or
+// deadline expiry interrupts the in-flight network round trip. Transport
+// failures poison the stream (see the package comment) and surface as
+// transient errors — wrap the client in a core.ResilientRunner to retry
+// them; server-reported measurement failures and identity mismatches are
+// marked permanent.
+func (c *Client) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
 	if a.Topo != c.hello.Topology {
-		return 0, fmt.Errorf("remote: assignment topology %v differs from server's %v", a.Topo, c.hello.Topology)
+		return 0, core.Permanent(fmt.Errorf("remote: assignment topology %v differs from server's %v", a.Topo, c.hello.Topology))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return 0, core.Permanent(errors.New("remote: client is closed"))
+	}
+	if c.broken {
+		if err := c.reconnect(ctx); err != nil {
+			return 0, err
+		}
+	}
+
+	// Tie the blocking socket I/O to ctx: a watcher trips the connection
+	// deadline on cancellation, failing the pending read/write. Clear any
+	// deadline a previous call's watcher may have left behind first.
+	c.conn.SetDeadline(time.Time{})
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		conn := c.conn
+		go func() {
+			select {
+			case <-done:
+				conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+		defer close(stop)
+	}
+
 	c.next++
 	req := Request{ID: c.next, Ctx: a.Ctx}
 	if err := c.enc.Encode(req); err != nil {
-		return 0, fmt.Errorf("remote: send: %w", err)
+		c.poison()
+		return 0, fmt.Errorf("remote: send: %w (%w)", err, ErrStreamBroken)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.poison()
 		if errors.Is(err, io.EOF) {
-			return 0, fmt.Errorf("remote: server closed the connection")
+			return 0, fmt.Errorf("remote: server closed the connection (%w)", ErrStreamBroken)
 		}
-		return 0, fmt.Errorf("remote: receive: %w", err)
+		return 0, fmt.Errorf("remote: receive: %w (%w)", err, ErrStreamBroken)
 	}
 	if resp.ID != req.ID {
-		return 0, fmt.Errorf("remote: response id %d for request %d", resp.ID, req.ID)
+		// The stream is desynced: some earlier response is still in
+		// flight. Nothing read from this connection can be trusted.
+		c.poison()
+		return 0, fmt.Errorf("remote: response id %d for request %d (%w)", resp.ID, req.ID, ErrStreamBroken)
 	}
 	if resp.Error != "" {
-		return 0, fmt.Errorf("remote: server: %s", resp.Error)
+		// A well-formed error response: the stream is intact, but the
+		// measurement itself failed server-side; retrying the same
+		// assignment would fail identically.
+		return 0, core.Permanent(fmt.Errorf("remote: server: %s", resp.Error))
 	}
 	return resp.Perf, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// poison marks the stream unusable and drops the connection. Callers hold
+// c.mu.
+func (c *Client) poison() {
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// reconnect redials with exponential backoff and re-handshakes, verifying
+// the server still measures the same workload. Callers hold c.mu.
+func (c *Client) reconnect(ctx context.Context) error {
+	if c.cfg.Dial == nil {
+		return core.Permanent(fmt.Errorf("remote: client has no dialer to recover with: %w", ErrStreamBroken))
+	}
+	delay := c.cfg.RedialBase
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.RedialAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := c.cfg.Dial()
+		if err == nil {
+			if err = c.attach(conn, false); err == nil {
+				return nil
+			}
+			if core.IsPermanent(err) {
+				return err
+			}
+		}
+		lastErr = err
+		if attempt == c.cfg.RedialAttempts {
+			break
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		if delay *= 2; delay > c.cfg.RedialMax {
+			delay = c.cfg.RedialMax
+		}
+	}
+	return fmt.Errorf("remote: reconnect failed after %d attempts: %w (%w)", c.cfg.RedialAttempts, lastErr, ErrStreamBroken)
+}
+
+// Close releases the connection. Subsequent measurements fail permanently.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
