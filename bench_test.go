@@ -9,12 +9,16 @@
 package optassign
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"optassign/internal/apps"
 	"optassign/internal/assign"
+	"optassign/internal/campaign"
 	"optassign/internal/core"
 	"optassign/internal/evt"
 	"optassign/internal/exp"
@@ -382,4 +386,56 @@ func BenchmarkPacketGeneration(b *testing.B) {
 		bytes += int64(len(gen.Next().Raw))
 	}
 	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkCampaignEndToEnd runs one complete journaled measurement round
+// serially and through an 8-worker pool over a runner with a fixed
+// per-measurement delay — the end-to-end campaign-time comparison behind
+// the parallel fan-out (the real testbed costs ~1.5 s per measurement,
+// §5.4; the ratio here is the wall-clock speedup N testbeds buy).
+func BenchmarkCampaignEndToEnd(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delayed := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		time.Sleep(500 * time.Microsecond)
+		return tb.MeasureAnalytic(a)
+	})
+	const draws = 64
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j, err := campaign.CreateJournal(filepath.Join(b.TempDir(), "c.journal"),
+				campaign.JournalHeader{Benchmark: "bench", Topo: tb.Machine.Topo, Tasks: tb.TaskCount(), Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, err = core.CollectSampleContext(context.Background(),
+				rand.New(rand.NewSource(1)), tb.Machine.Topo, tb.TaskCount(), draws,
+				campaign.JournalRunner{Journal: j, Runner: delayed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			j.Close()
+		}
+	})
+	b.Run("parallel-8", func(b *testing.B) {
+		pool, err := core.NewReplicatedPool(delayed, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			j, err := campaign.CreateJournal(filepath.Join(b.TempDir(), "c.journal"),
+				campaign.JournalHeader{Benchmark: "bench", Topo: tb.Machine.Topo, Tasks: tb.TaskCount(), Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, err = core.CollectSampleParallel(context.Background(),
+				rand.New(rand.NewSource(1)), tb.Machine.Topo, tb.TaskCount(), draws, pool, j.Commit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			j.Close()
+		}
+	})
 }

@@ -9,9 +9,12 @@
 //	measured [-addr :9120] [-benchmark IPFwd-L1] [-instances 8] [-seed 1]
 //	         [-read-timeout 5m] [-drain 10s]
 //
-// Drive it with cmd/optassign -connect host:9120. Idle connections are
-// reaped after -read-timeout so dead controllers don't leak handlers;
-// SIGINT/SIGTERM drains live connections for up to -drain, then exits.
+// Drive it with cmd/optassign -connect host:9120. -addr accepts a
+// comma-separated list to serve several listeners from one process (e.g.
+// one per NIC, or several loopback ports to exercise a client pool). Idle
+// connections are reaped after -read-timeout so dead controllers don't
+// leak handlers; SIGINT/SIGTERM drains live connections for up to -drain,
+// then exits.
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -35,7 +40,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("measured: ")
 
-	addr := flag.String("addr", ":9120", "listen address")
+	addr := flag.String("addr", ":9120", "listen address, or a comma-separated list of them")
 	benchmark := flag.String("benchmark", "IPFwd-L1", "benchmark name (see cmd/optassign)")
 	instances := flag.Int("instances", 8, "pipeline instances")
 	seed := flag.Int64("seed", 1, "testbed seed")
@@ -51,12 +56,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	l, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
+	var listeners []net.Listener
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		l, err := net.Listen("tcp", a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners = append(listeners, l)
+		fmt.Printf("serving %s (%d tasks on %s) at %s\n",
+			app.Name(), tb.TaskCount(), tb.Machine.Topo, l.Addr())
 	}
-	fmt.Printf("serving %s (%d tasks on %s) at %s\n",
-		app.Name(), tb.TaskCount(), tb.Machine.Topo, l.Addr())
+	if len(listeners) == 0 {
+		log.Fatal("-addr names no listen address")
+	}
 	srv := &remote.Server{
 		Runner:      tb,
 		Topo:        tb.Machine.Topo,
@@ -76,7 +92,20 @@ func main() {
 			log.Printf("forced shutdown: %v", err)
 		}
 	}()
-	if err := srv.Serve(l); err != nil {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(listeners))
+	for _, l := range listeners {
+		wg.Add(1)
+		go func(l net.Listener) {
+			defer wg.Done()
+			if err := srv.Serve(l); err != nil {
+				errs <- err
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		log.Fatal(err)
 	}
 }

@@ -9,12 +9,22 @@
 //	optassign [-benchmark IPFwd-L1] [-instances 8] [-loss 2.5]
 //	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
 //	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
+//	          [-workers 8] [-connect host1:7070,host2:7070]
 //
 // Fault tolerance: -retries/-timeout wrap the measurement source in a
 // resilient runner (retry with backoff, quarantine after the budget);
 // -journal write-ahead logs every measurement so -resume restarts a killed
 // campaign from its checkpoint, re-measuring nothing. Ctrl-C stops the
 // campaign cleanly at a measurement boundary.
+//
+// Parallelism: -workers N measures N assignments concurrently, and
+// -connect accepts a comma-separated server list to fan the campaign out
+// across several testbeds (a failing server is benched and its work moves
+// to the others). The measured assignment sequence, the journal contents
+// and the final result are byte-identical to a serial run with the same
+// seed, so worker count — and even serial vs parallel — may change freely
+// across a -resume. To open several connections to one server, repeat its
+// address.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"optassign/internal/apps"
@@ -51,7 +62,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print every iteration")
 	record := flag.String("record", "", "write every measurement to this campaign file (JSON lines)")
-	connect := flag.String("connect", "", "measure on a remote testbed served by cmd/measured at this address")
+	connect := flag.String("connect", "", "measure on remote testbeds served by cmd/measured: one address or a comma-separated pool")
+	workers := flag.Int("workers", 0, "concurrent measurements (0 = one per remote server, else serial); any value yields results identical to a serial run")
 	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 disables)")
 	retries := flag.Int("retries", 0, "retries per measurement before quarantining it (0 disables the resilient wrapper unless -timeout is set)")
 	journalPath := flag.String("journal", "", "write-ahead journal file: every measurement is persisted as it completes")
@@ -62,21 +74,37 @@ func main() {
 		log.Fatal("-resume needs -journal")
 	}
 
+	var addrs []string
+	for _, a := range strings.Split(*connect, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+
 	var (
 		runner core.ContextRunner
 		topo   t2.Topology
 		tasks  int
 		name   string
 	)
-	if *connect != "" {
-		client, err := remote.Dial(*connect)
+	switch {
+	case len(addrs) > 1:
+		pool, err := remote.DialPool(addrs, remote.PoolConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pool.Close()
+		runner, topo, tasks, name = pool, pool.Topology(), pool.Tasks(), pool.Hello().Name
+		fmt.Printf("remote testbed pool: %d servers, %d tasks on %s\n", pool.Size(), tasks, topo)
+	case len(addrs) == 1:
+		client, err := remote.Dial(addrs[0])
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer client.Close()
 		runner, topo, tasks, name = client, client.Topology(), client.Tasks(), client.Hello().Name
-		fmt.Printf("remote testbed %q at %s: %d tasks on %s\n", name, *connect, tasks, topo)
-	} else {
+		fmt.Printf("remote testbed %q at %s: %d tasks on %s\n", name, addrs[0], tasks, topo)
+	default:
 		app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
 		if err != nil {
 			log.Fatal(err)
@@ -117,12 +145,10 @@ func main() {
 
 	// Write-ahead journal: every completed measurement hits disk before
 	// the next one starts, so a killed campaign resumes from where it was.
+	var j *campaign.Journal
 	if *journalPath != "" {
 		h := campaign.JournalHeader{Benchmark: name, Topo: topo, Tasks: tasks, Seed: *seed}
-		var (
-			j   *campaign.Journal
-			err error
-		)
+		var err error
 		if *resume {
 			var st *campaign.JournalState
 			j, st, err = campaign.ResumeJournal(*journalPath, h)
@@ -140,13 +166,19 @@ func main() {
 			}
 		}
 		defer j.Close()
-		runner = campaign.JournalRunner{Journal: j, Runner: runner}
 	}
 
 	var recorded *campaign.Campaign
 	if *record != "" {
 		recorded = campaign.New(name, topo, *seed)
-		runner = campaign.Recorder{Campaign: recorded, Runner: core.AsRunner(runner)}
+	}
+
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = 1
+		if len(addrs) > 1 {
+			nWorkers = len(addrs) // keep every pooled testbed busy
+		}
 	}
 
 	// Ctrl-C / SIGTERM stops the campaign at a measurement boundary; the
@@ -154,7 +186,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := core.IterateContext(ctx, cfg, runner)
+	var res core.IterResult
+	var err error
+	if nWorkers > 1 {
+		// Parallel fan-out: the shared measurement stack feeds nWorkers
+		// concurrent workers; completions commit to the journal and the
+		// recorded campaign strictly in draw order, so everything written
+		// is byte-identical to a serial run.
+		var commits []core.CommitFunc
+		if j != nil {
+			commits = append(commits, j.Commit)
+		}
+		if recorded != nil {
+			commits = append(commits, recorded.Commit)
+		}
+		pool, perr := core.NewReplicatedPool(runner, nWorkers)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		fmt.Printf("measuring with %d parallel workers\n", nWorkers)
+		res, err = core.IterateParallel(ctx, cfg, pool, core.ChainCommits(commits...))
+	} else {
+		if j != nil {
+			runner = campaign.JournalRunner{Journal: j, Runner: runner}
+		}
+		if recorded != nil {
+			runner = campaign.Recorder{Campaign: recorded, Runner: core.AsRunner(runner)}
+		}
+		res, err = core.IterateContext(ctx, cfg, runner)
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !errors.Is(err, core.ErrBudgetExhausted) && !interrupted {
 		log.Fatal(err)

@@ -1,0 +1,48 @@
+package optassign
+
+// Smoke test: every example program must build and run to completion with
+// small parameters. Examples are the executable documentation of this
+// repo; a refactor that breaks one should fail `go test ./...`, not wait
+// for a reader to notice.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test runs example binaries; skipped with -short")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) == 0 {
+		t.Fatal("no examples found; is the working directory the repo root?")
+	}
+	// Tiny parameters where an example accepts them; defaults elsewhere.
+	args := map[string][]string{
+		"netsched":         {"-loss", "5"},
+		"parallelcampaign": {"-servers", "2", "-samples", "200"},
+	}
+	for _, dir := range examples {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./" + dir}, args[name]...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing", name)
+			}
+		})
+	}
+}

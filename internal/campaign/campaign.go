@@ -196,6 +196,17 @@ func (r Recorder) MeasureContext(ctx context.Context, a assign.Assignment) (floa
 	return perf, nil
 }
 
+// Commit is the campaign as a core.CommitFunc: successful measurements
+// are recorded, failures are not (the campaign file is the cleaned
+// result; the journal keeps the failures). It is the parallel-campaign
+// counterpart of the Recorder middleware.
+func (c *Campaign) Commit(a assign.Assignment, perf float64, measureErr error) error {
+	if measureErr == nil {
+		c.Add(a, perf)
+	}
+	return nil
+}
+
 // ReadValues parses whitespace/line-separated float64s with '#' comments —
 // the bare-numbers input format of cmd/evtfit, for measurements collected
 // outside this library.

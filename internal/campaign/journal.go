@@ -161,6 +161,23 @@ func (j *Journal) writeLine(v any) error {
 	return nil
 }
 
+// Commit is the journal as a core.CommitFunc: successes are journaled via
+// Append, quarantines via AppendFailure, anything else (a campaign
+// cancellation, a fatal measurement error) is not journaled — the draw
+// never completed and a resumed run re-executes it. Feed it to
+// core.CollectSampleParallel / core.IterateParallel: the parallel fan-out
+// commits in draw order, so the journal it produces is byte-identical to
+// the one the serial JournalRunner middleware writes.
+func (j *Journal) Commit(a assign.Assignment, perf float64, measureErr error) error {
+	switch {
+	case measureErr == nil:
+		return j.Append(a, perf)
+	case errors.Is(measureErr, core.ErrQuarantined):
+		return j.AppendFailure(a, measureErr)
+	}
+	return nil
+}
+
 // Sync forces the journal down to stable storage (power-loss safety; a
 // mere process crash never needs it).
 func (j *Journal) Sync() error {

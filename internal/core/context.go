@@ -24,6 +24,30 @@ func (f ContextRunnerFunc) MeasureContext(ctx context.Context, a assign.Assignme
 	return f(ctx, a)
 }
 
+// attemptKey carries the 1-based attempt number of the measurement a
+// context belongs to (see WithAttempt).
+type attemptKey struct{}
+
+// WithAttempt annotates ctx with the 1-based attempt number of the
+// measurement about to run. ResilientRunner stamps every attempt, so a
+// runner downstream (a deterministic fault injector, a logging wrapper)
+// can tell a retry from a fresh measurement without shared state — which
+// keeps its behavior independent of the order concurrent measurements
+// interleave in.
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// Attempt returns the attempt number stamped by WithAttempt, or 1 for a
+// context without one (a measurement outside any retry loop is its own
+// first attempt).
+func Attempt(ctx context.Context) int {
+	if n, ok := ctx.Value(attemptKey{}).(int); ok {
+		return n
+	}
+	return 1
+}
+
 // AsContextRunner upgrades any Runner to a ContextRunner. Runners that
 // already implement MeasureContext (remote clients, the resilient wrapper)
 // are returned as-is; legacy runners are wrapped in a shim that checks ctx

@@ -121,6 +121,20 @@ func Iterate(cfg IterConfig, runner Runner) (IterResult, error) {
 // assignments are skipped rather than fatal, and cfg.Resume restarts an
 // interrupted campaign from its checkpoint instead of from zero.
 func IterateContext(ctx context.Context, cfg IterConfig, runner ContextRunner) (IterResult, error) {
+	return iterate(ctx, cfg, func(ctx context.Context, rng *rand.Rand, add int) ([]SampleResult, []Skipped, error) {
+		return CollectSampleContext(ctx, rng, cfg.Topo, cfg.Tasks, add, runner)
+	})
+}
+
+// collector gathers `add` fresh draws from rng — serially
+// (CollectSampleContext) or fanned out (CollectSampleParallel). Both
+// consume rng identically, so the iterate loop below is oblivious to which
+// one drives it.
+type collector func(ctx context.Context, rng *rand.Rand, add int) ([]SampleResult, []Skipped, error)
+
+// iterate is the shared §5.3 loop behind IterateContext and
+// IterateParallel.
+func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.AcceptLossPct <= 0 {
 		return IterResult{}, fmt.Errorf("core: acceptable loss must be positive, got %v", cfg.AcceptLossPct)
@@ -139,7 +153,7 @@ func IterateContext(ctx context.Context, cfg IterConfig, runner ContextRunner) (
 	}
 	// collect measures `add` fresh draws, accumulating quarantines.
 	collect := func(add int) error {
-		more, skipped, err := CollectSampleContext(ctx, rng, cfg.Topo, cfg.Tasks, add, runner)
+		more, skipped, err := collectFresh(ctx, rng, add)
 		results = append(results, more...)
 		res.Quarantined = append(res.Quarantined, skipped...)
 		return err

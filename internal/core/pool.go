@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"optassign/internal/assign"
+)
+
+// Outcome is the result of measuring one assignment of a batch.
+type Outcome struct {
+	Perf float64
+	Err  error
+	// Started reports that the measurement was actually dispatched to a
+	// worker. A false Started means the batch was cancelled before this
+	// assignment's turn came: Err carries the context error and no testbed
+	// time was spent — exactly the draws a serial loop would never have
+	// reached.
+	Started bool
+}
+
+// PoolRunner fans a batch of measurements out across a fixed pool of
+// workers. The samples of a campaign are iid by construction (§3.1), so
+// they are embarrassingly parallel: with N independent testbeds (or one
+// concurrency-safe simulator) the §5.4 wall-clock cost of a campaign
+// divides by N. Dispatch is work-stealing — each worker pulls the next
+// undone draw index as it frees up — so one slow measurement never stalls
+// the rest of the batch.
+//
+// PoolRunner itself imposes no ordering; CollectSampleParallel reassembles
+// outcomes in draw order and is the layer that makes a parallel campaign
+// byte-identical to a serial one.
+type PoolRunner struct {
+	workers []ContextRunner
+}
+
+// NewPoolRunner builds a pool with one goroutine per worker runner. Each
+// worker measures on its own runner, so runners that are not safe for
+// concurrent use (a remote.Client, a stateful harness) get exactly one
+// in-flight measurement each. Wrap each worker in its own ResilientRunner
+// for per-worker retry/quarantine.
+func NewPoolRunner(workers ...ContextRunner) (*PoolRunner, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("core: pool needs at least one worker")
+	}
+	for i, w := range workers {
+		if w == nil {
+			return nil, fmt.Errorf("core: pool worker %d is nil", i)
+		}
+	}
+	return &PoolRunner{workers: append([]ContextRunner(nil), workers...)}, nil
+}
+
+// NewReplicatedPool builds an n-worker pool whose workers share one
+// runner. The runner must be safe for concurrent use — the simulated
+// testbed (a pure function of the assignment), a ResilientRunner, or a
+// remote.ClientPool all qualify.
+func NewReplicatedPool(runner ContextRunner, n int) (*PoolRunner, error) {
+	if runner == nil {
+		return nil, fmt.Errorf("core: nil runner")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: pool needs at least one worker, got %d", n)
+	}
+	workers := make([]ContextRunner, n)
+	for i := range workers {
+		workers[i] = runner
+	}
+	return NewPoolRunner(workers...)
+}
+
+// Workers returns the pool's concurrency.
+func (p *PoolRunner) Workers() int { return len(p.workers) }
+
+// completion pairs an outcome with the draw index it belongs to.
+type completion struct {
+	i int
+	o Outcome
+}
+
+// stream dispatches every assignment to the pool and delivers completions
+// as they happen, in completion order. The channel closes after the last
+// worker exits. Cancellation does not abandon in-flight measurements —
+// each worker finishes (or is interrupted by) its current one and then
+// stops pulling; undispatched draws are delivered unstarted with ctx's
+// error.
+func (p *PoolRunner) stream(ctx context.Context, as []assign.Assignment) <-chan completion {
+	out := make(chan completion, len(p.workers))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(next)
+		for i := range as {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				// Deliver the rest unstarted so every index gets exactly
+				// one completion.
+				for j := i; j < len(as); j++ {
+					out <- completion{j, Outcome{Err: ctx.Err()}}
+				}
+				return
+			}
+		}
+	}()
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w ContextRunner) {
+			defer wg.Done()
+			for i := range next {
+				perf, err := w.MeasureContext(ctx, as[i])
+				out <- completion{i, Outcome{Perf: perf, Err: err, Started: true}}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// MeasureBatch measures every assignment across the pool and returns the
+// outcomes indexed like the input. It never fails as a whole: per-draw
+// errors (including cancellation) live in each Outcome.
+func (p *PoolRunner) MeasureBatch(ctx context.Context, as []assign.Assignment) []Outcome {
+	out := make([]Outcome, len(as))
+	for c := range p.stream(ctx, as) {
+		out[c.i] = c.o
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package core_test
+
+// Benchmarks for the parallel sampling layer. delayRunner models a
+// testbed with a fixed per-measurement cost (the paper's real testbed
+// spends ~1.5 s per measurement, §5.4); the parallel/serial ratio at a
+// given worker count is the campaign-time speedup an operator can expect
+// from that many testbeds.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"optassign/internal/assign"
+	"optassign/internal/core"
+)
+
+// delayRunner is a concurrency-safe runner costing delay per measurement.
+func delayRunner(delay time.Duration) core.ContextRunner {
+	return core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return hashPerf(a), nil
+	})
+}
+
+const (
+	benchDraws = 64
+	benchDelay = time.Millisecond
+)
+
+func BenchmarkCollectSample(b *testing.B) {
+	topo, tasks := smallTopo(), 3
+	runner := delayRunner(benchDelay)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, err := core.CollectSampleContext(context.Background(),
+			rand.New(rand.NewSource(1)), topo, tasks, benchDraws, runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectSampleParallel(b *testing.B) {
+	topo, tasks := smallTopo(), 3
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			pool, err := core.NewReplicatedPool(delayRunner(benchDelay), workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.CollectSampleParallel(context.Background(),
+					rand.New(rand.NewSource(1)), topo, tasks, benchDraws, pool, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPoolRunner measures raw dispatch overhead: a zero-delay runner
+// makes the channel machinery itself the cost.
+func BenchmarkPoolRunner(b *testing.B) {
+	topo, tasks := smallTopo(), 3
+	pool, err := core.NewReplicatedPool(delayRunner(0), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := assign.Sample(rand.New(rand.NewSource(1)), topo, tasks, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range pool.MeasureBatch(context.Background(), as) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core_test
+
+// Race and stress coverage for the parallel sampling layer. These tests
+// are most valuable under `go test -race`, which CI runs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optassign/internal/assign"
+	"optassign/internal/core"
+)
+
+func TestNewPoolRunnerValidation(t *testing.T) {
+	if _, err := core.NewPoolRunner(); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := core.NewPoolRunner(hashRunner(0), nil); err == nil {
+		t.Error("nil worker accepted")
+	}
+	if _, err := core.NewReplicatedPool(nil, 4); err == nil {
+		t.Error("nil runner accepted")
+	}
+	if _, err := core.NewReplicatedPool(hashRunner(0), 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	pool, err := core.NewReplicatedPool(hashRunner(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Workers() != 7 {
+		t.Errorf("Workers() = %d, want 7", pool.Workers())
+	}
+}
+
+// TestMeasureBatchStress hammers one pool from several goroutines at once:
+// every batch must come back complete, correctly indexed, with no race.
+func TestMeasureBatchStress(t *testing.T) {
+	topo, tasks := smallTopo(), 3
+	var calls atomic.Int64
+	runner := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		calls.Add(1)
+		return hashPerf(a), nil
+	})
+	pool, err := core.NewReplicatedPool(runner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches, n = 6, 200
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			as, err := assign.Sample(rand.New(rand.NewSource(seed)), topo, tasks, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outcomes := pool.MeasureBatch(context.Background(), as)
+			if len(outcomes) != n {
+				t.Errorf("batch %d: %d outcomes, want %d", seed, len(outcomes), n)
+				return
+			}
+			for i, o := range outcomes {
+				if !o.Started || o.Err != nil {
+					t.Errorf("batch %d outcome %d: started=%v err=%v", seed, i, o.Started, o.Err)
+					return
+				}
+				if want := hashPerf(as[i]); o.Perf != want {
+					t.Errorf("batch %d outcome %d: perf %v, want %v (misindexed?)", seed, i, o.Perf, want)
+					return
+				}
+			}
+		}(int64(b + 1))
+	}
+	wg.Wait()
+	if got := calls.Load(); got != batches*n {
+		t.Errorf("runner saw %d calls, want %d", got, batches*n)
+	}
+}
+
+// TestMeasureBatchCancellation cancels mid-batch: every index still gets
+// exactly one outcome, dispatched ones finish, undispatched ones carry the
+// context error and are flagged unstarted.
+func TestMeasureBatchCancellation(t *testing.T) {
+	topo, tasks := smallTopo(), 3
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	runner := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		time.Sleep(100 * time.Microsecond)
+		if done.Add(1) == 30 {
+			cancel()
+		}
+		return hashPerf(a), nil
+	})
+	pool, err := core.NewReplicatedPool(runner, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := assign.Sample(rand.New(rand.NewSource(2)), topo, tasks, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := pool.MeasureBatch(ctx, as)
+	if len(outcomes) != len(as) {
+		t.Fatalf("%d outcomes for %d draws", len(outcomes), len(as))
+	}
+	var started, unstarted int
+	for i, o := range outcomes {
+		switch {
+		case o.Started:
+			started++
+			if o.Err != nil {
+				t.Fatalf("outcome %d: started but failed: %v", i, o.Err)
+			}
+		default:
+			unstarted++
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Fatalf("outcome %d: unstarted with err %v", i, o.Err)
+			}
+		}
+	}
+	if started == 0 || unstarted == 0 {
+		t.Fatalf("started=%d unstarted=%d: cancellation landed at a useless point", started, unstarted)
+	}
+}
+
+// TestMeasureBatchWorkStealing gives the pool one slow worker and one fast
+// worker: the fast one must absorb most of the batch instead of the batch
+// taking slow-worker time.
+func TestMeasureBatchWorkStealing(t *testing.T) {
+	topo, tasks := smallTopo(), 3
+	var slowCalls, fastCalls atomic.Int64
+	slow := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		slowCalls.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return hashPerf(a), nil
+	})
+	fast := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		fastCalls.Add(1)
+		return hashPerf(a), nil
+	})
+	pool, err := core.NewPoolRunner(slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := assign.Sample(rand.New(rand.NewSource(3)), topo, tasks, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range pool.MeasureBatch(context.Background(), as) {
+		if o.Err != nil {
+			t.Fatalf("outcome %d: %v", i, o.Err)
+		}
+	}
+	if f, s := fastCalls.Load(), slowCalls.Load(); f < 4*s {
+		t.Errorf("fast worker took %d draws, slow took %d: dispatch is not work-stealing", f, s)
+	}
+}
+
+// TestPoolWorkerErrorsStayPerDraw: a worker error lands in its own draw's
+// outcome without disturbing neighbors.
+func TestPoolWorkerErrorsStayPerDraw(t *testing.T) {
+	topo, tasks := smallTopo(), 3
+	boom := errors.New("boom")
+	runner := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		if a.Ctx[0] == 0 {
+			return 0, fmt.Errorf("%w: %v", boom, a.Ctx)
+		}
+		return hashPerf(a), nil
+	})
+	pool, err := core.NewReplicatedPool(runner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := assign.Sample(rand.New(rand.NewSource(4)), topo, tasks, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := pool.MeasureBatch(context.Background(), as)
+	for i, o := range outcomes {
+		wantErr := as[i].Ctx[0] == 0
+		if wantErr != (o.Err != nil) {
+			t.Fatalf("outcome %d (ctx %v): err = %v", i, as[i].Ctx, o.Err)
+		}
+		if wantErr && !errors.Is(o.Err, boom) {
+			t.Fatalf("outcome %d: err = %v, want boom", i, o.Err)
+		}
+	}
+}

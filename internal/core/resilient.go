@@ -163,7 +163,7 @@ func (r *ResilientRunner) Measure(a assign.Assignment) (float64, error) {
 func (r *ResilientRunner) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
 	var lastErr error
 	for attempt := 1; attempt <= r.cfg.MaxAttempts; attempt++ {
-		perf, err := r.attempt(ctx, a)
+		perf, err := r.attempt(WithAttempt(ctx, attempt), a)
 		if err == nil {
 			return perf, nil
 		}

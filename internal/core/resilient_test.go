@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -111,10 +112,11 @@ func TestResilientPermanentFailsFast(t *testing.T) {
 }
 
 func TestResilientTimeoutCutsHang(t *testing.T) {
-	calls := 0
+	// The abandoned first attempt keeps running on its own goroutine
+	// concurrently with the retry, so the counter must be atomic.
+	var calls atomic.Int32
 	hung := ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
-		calls++
-		if calls == 1 {
+		if calls.Add(1) == 1 {
 			<-ctx.Done() // hang until the per-attempt timeout fires
 			return 0, ctx.Err()
 		}

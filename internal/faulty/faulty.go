@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -47,6 +48,14 @@ type Config struct {
 	// measurement sleeps Spike (honoring ctx) before executing.
 	SpikeRate float64
 	Spike     time.Duration
+	// KeyByAssignment makes each fault a pure function of (Seed, the
+	// assignment, the attempt number stamped by core.WithAttempt) instead
+	// of a draw from the shared sequential PRNG. The injected fault
+	// sequence then no longer depends on the order measurements happen to
+	// interleave in, so a parallel campaign meets the exact same faults as
+	// a serial one — the mode the parallel-equivalence tests rely on.
+	// Identical assignments drawn twice meet identical faults.
+	KeyByAssignment bool
 }
 
 // Stats counts what the runner injected and executed.
@@ -62,7 +71,8 @@ type Stats struct {
 // Runner wraps a measurement runner with deterministic fault injection.
 // It implements core.Runner and core.ContextRunner and is safe for
 // concurrent use (though concurrent callers race for the PRNG sequence;
-// deterministic tests should measure serially).
+// deterministic concurrent tests should set Config.KeyByAssignment, which
+// makes every fault independent of interleaving).
 type Runner struct {
 	cfg   Config
 	inner core.ContextRunner
@@ -74,14 +84,13 @@ type Runner struct {
 
 // NewRunner wraps inner with the fault policy in cfg.
 func NewRunner(inner core.Runner, cfg Config) *Runner {
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	return &Runner{
 		cfg:   cfg,
 		inner: core.AsContextRunner(inner),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -102,12 +111,24 @@ const (
 	faultSpike
 )
 
-// roll draws the fault for one attempt and updates the counters.
-func (r *Runner) roll() fault {
+// roll draws the fault for one attempt and updates the counters. In
+// KeyByAssignment mode the uniform variate comes from a PRNG seeded by
+// hashing (Seed, assignment, attempt) — order-independent — instead of
+// from the shared sequential PRNG.
+func (r *Runner) roll(ctx context.Context, a assign.Assignment) fault {
+	var u float64
+	keyed := r.cfg.KeyByAssignment
+	if keyed {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%v|%d", r.cfg.Seed, a.Ctx, core.Attempt(ctx))
+		u = rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Calls++
-	u := r.rng.Float64()
+	if !keyed {
+		u = r.rng.Float64()
+	}
 	switch {
 	case u < r.cfg.PermanentRate:
 		r.stats.Permanents++
@@ -133,10 +154,15 @@ func (r *Runner) Measure(a assign.Assignment) (float64, error) {
 
 // MeasureContext implements core.ContextRunner.
 func (r *Runner) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
-	switch r.roll() {
+	switch r.roll(ctx, a) {
 	case faultPermanent:
 		return 0, core.Permanent(ErrInjectedPermanent)
 	case faultTransient:
+		if r.cfg.KeyByAssignment {
+			// The global call counter is order-dependent; keyed mode must
+			// produce identical error text regardless of interleaving.
+			return 0, fmt.Errorf("%w (attempt %d)", ErrInjected, core.Attempt(ctx))
+		}
 		return 0, fmt.Errorf("%w (call %d)", ErrInjected, r.Stats().Calls)
 	case faultHang:
 		if ctx.Done() == nil {

@@ -1,0 +1,286 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"optassign/internal/assign"
+	"optassign/internal/core"
+	"optassign/internal/t2"
+)
+
+// PoolConfig tunes a multi-server client pool.
+type PoolConfig struct {
+	// Client is the per-server reconnect policy (RedialAttempts, backoff);
+	// its Dial field is ignored — each server gets a dialer for its own
+	// address (or DialAddr below).
+	Client ClientConfig
+	// DialAddr opens the transport to one server; nil means plain TCP.
+	// Tests route this through fault-injection proxies.
+	DialAddr func(addr string) (net.Conn, error)
+	// QuarantineAfter is how many consecutive transport failures bench a
+	// server (its reconnect machinery keeps trying lazily, but the pool
+	// stops preferring it). Default 3.
+	QuarantineAfter int
+	// Cooldown is how long a benched server stays unpreferred. Default 5 s.
+	Cooldown time.Duration
+	// Failover is how many distinct servers one measurement may try before
+	// reporting the last transport error (which is transient — a
+	// core.ResilientRunner above the pool retries the whole cycle with
+	// backoff). 0 means every server.
+	Failover int
+	// now is a test seam; nil means time.Now.
+	now func() time.Time
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.DialAddr == nil {
+		c.DialAddr = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// poolServer is one server of the pool: its reconnecting client plus the
+// health bookkeeping that drives quarantine.
+type poolServer struct {
+	addr   string
+	client *Client
+
+	mu           sync.Mutex
+	strikes      int
+	benchedUntil time.Time
+}
+
+func (s *poolServer) benched(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Before(s.benchedUntil)
+}
+
+func (s *poolServer) recordSuccess() {
+	s.mu.Lock()
+	s.strikes = 0
+	s.benchedUntil = time.Time{}
+	s.mu.Unlock()
+}
+
+func (s *poolServer) recordFailure(cfg PoolConfig) {
+	s.mu.Lock()
+	s.strikes++
+	if s.strikes >= cfg.QuarantineAfter {
+		s.benchedUntil = cfg.now().Add(cfg.Cooldown)
+	}
+	s.mu.Unlock()
+}
+
+// ClientPool drives a campaign across several measurement servers — the
+// many-testbeds generalization of the paper's two-machine setup. It
+// implements core.Runner and core.ContextRunner and is safe for concurrent
+// use: each concurrent measurement grabs whichever server is free
+// (work-stealing — fast servers naturally take more measurements), so
+// wrapping a ClientPool in a core.PoolRunner with one worker per server
+// keeps every testbed busy.
+//
+// Fault tolerance reuses the single-client machinery per server (stream
+// poisoning, redial with backoff, identity verification) and adds two
+// pool-level behaviors: a measurement that hits a transport error fails
+// over to the next free server, and a server with QuarantineAfter
+// consecutive failures is benched for Cooldown — the pool stops routing to
+// it unless every server is benched, and its first success unbenches it.
+type ClientPool struct {
+	cfg     PoolConfig
+	servers []*poolServer
+	free    chan *poolServer
+	hello   Hello
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialPool connects to every address and verifies the servers all announce
+// the same topology and task count — a pool mixing workloads would produce
+// a statistically meaningless sample. At least one address is required;
+// every server must be reachable at dial time (fail fast on typos; mid-
+// campaign failures are handled gracefully instead).
+func DialPool(addrs []string, cfg PoolConfig) (*ClientPool, error) {
+	cfg = cfg.withDefaults()
+	if len(addrs) == 0 {
+		return nil, errors.New("remote: pool needs at least one server address")
+	}
+	p := &ClientPool{cfg: cfg, free: make(chan *poolServer, len(addrs))}
+	for i, addr := range addrs {
+		addr := addr
+		ccfg := cfg.Client
+		ccfg.Dial = func() (net.Conn, error) { return cfg.DialAddr(addr) }
+		client, err := DialConfig(ccfg)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("remote: pool server %s: %w", addr, err)
+		}
+		if i == 0 {
+			p.hello = client.Hello()
+		} else if h := client.Hello(); h.Topology != p.hello.Topology || h.Tasks != p.hello.Tasks {
+			client.Close()
+			p.Close()
+			return nil, fmt.Errorf("remote: pool server %s runs %d tasks on %v, but %s runs %d tasks on %v",
+				addr, h.Tasks, h.Topology, addrs[0], p.hello.Tasks, p.hello.Topology)
+		}
+		s := &poolServer{addr: addr, client: client}
+		p.servers = append(p.servers, s)
+		p.free <- s
+	}
+	return p, nil
+}
+
+// Hello returns the announcement shared by every server of the pool.
+func (p *ClientPool) Hello() Hello { return p.hello }
+
+// Topology returns the pooled testbeds' common topology.
+func (p *ClientPool) Topology() t2.Topology { return p.hello.Topology }
+
+// Tasks returns the pooled workload's task count.
+func (p *ClientPool) Tasks() int { return p.hello.Tasks }
+
+// Size returns the number of servers in the pool.
+func (p *ClientPool) Size() int { return len(p.servers) }
+
+// acquire blocks until a server is free and returns the best candidate:
+// it scoops up every server that is free right now and prefers a healthy
+// one; when all of them are benched it settles for the one whose bench
+// expires soonest (availability over purity — the pool degrades to
+// best-effort rather than stalling the campaign on a healthy-but-busy
+// server).
+func (p *ClientPool) acquire(ctx context.Context) (*poolServer, error) {
+	var candidates []*poolServer
+	select {
+	case s := <-p.free:
+		candidates = append(candidates, s)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+scoop:
+	for len(candidates) < len(p.servers) {
+		select {
+		case s := <-p.free:
+			candidates = append(candidates, s)
+		default:
+			break scoop
+		}
+	}
+	now := p.cfg.now()
+	pick := 0
+	for i, s := range candidates {
+		if !s.benched(now) {
+			pick = i
+			break
+		}
+		s.mu.Lock()
+		until := s.benchedUntil
+		s.mu.Unlock()
+		candidates[pick].mu.Lock()
+		best := candidates[pick].benchedUntil
+		candidates[pick].mu.Unlock()
+		if until.Before(best) {
+			pick = i
+		}
+	}
+	for i, s := range candidates {
+		if i != pick {
+			p.free <- s
+		}
+	}
+	return candidates[pick], nil
+}
+
+func (p *ClientPool) release(s *poolServer) { p.free <- s }
+
+// Measure implements core.Runner with a background context.
+func (p *ClientPool) Measure(a assign.Assignment) (float64, error) {
+	return p.MeasureContext(context.Background(), a)
+}
+
+// MeasureContext implements core.ContextRunner: grab a free server,
+// measure, fail over to another on a transport error. Permanent errors
+// (server-side measurement failures, identity mismatches) return
+// immediately — they would fail identically everywhere. If Failover
+// distinct servers all fail transiently the last transport error is
+// returned as-is (transient), for an outer ResilientRunner to retry.
+func (p *ClientPool) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, core.Permanent(errors.New("remote: client pool is closed"))
+	}
+	p.mu.Unlock()
+
+	failover := p.cfg.Failover
+	if failover <= 0 || failover > len(p.servers) {
+		failover = len(p.servers)
+	}
+	var lastErr error
+	for try := 0; try < failover; try++ {
+		s, err := p.acquire(ctx)
+		if err != nil {
+			return 0, err
+		}
+		perf, err := s.client.MeasureContext(ctx, a)
+		if err == nil {
+			s.recordSuccess()
+			p.release(s)
+			return perf, nil
+		}
+		if core.IsPermanent(err) || ctx.Err() != nil {
+			p.release(s)
+			return 0, err
+		}
+		s.recordFailure(p.cfg)
+		p.release(s)
+		lastErr = err
+	}
+	return 0, fmt.Errorf("remote: %d server(s) failed, last: %w", failover, lastErr)
+}
+
+// Strikes reports, per server address, the current consecutive-failure
+// count — observability for operators deciding whether a testbed needs
+// attention.
+func (p *ClientPool) Strikes() map[string]int {
+	out := make(map[string]int, len(p.servers))
+	for _, s := range p.servers {
+		s.mu.Lock()
+		out[s.addr] = s.strikes
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Close releases every connection. Subsequent measurements fail
+// permanently.
+func (p *ClientPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, s := range p.servers {
+		if err := s.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
