@@ -7,7 +7,7 @@
 // Usage:
 //
 //	measured [-addr :9120] [-benchmark IPFwd-L1] [-instances 8] [-seed 1]
-//	         [-read-timeout 5m] [-drain 10s]
+//	         [-read-timeout 5m] [-drain 10s] [-metrics-addr :9121]
 //
 // Drive it with cmd/optassign -connect host:9120. -addr accepts a
 // comma-separated list to serve several listeners from one process (e.g.
@@ -15,6 +15,10 @@
 // connections are reaped after -read-timeout so dead controllers don't
 // leak handlers; SIGINT/SIGTERM drains live connections for up to -drain,
 // then exits.
+//
+// Observability: -metrics-addr serves Prometheus text-format metrics at
+// /metrics (connections, requests, measurement latency) and a JSON
+// health report at /healthz; empty (the default) disables the endpoint.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +38,7 @@ import (
 	"optassign/internal/apps"
 	"optassign/internal/netdps"
 	"optassign/internal/netgen"
+	"optassign/internal/obs"
 	"optassign/internal/remote"
 )
 
@@ -46,6 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "testbed seed")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "drop a connection idle for this long (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for live connections to finish")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty disables)")
 	flag.Parse()
 
 	app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
@@ -81,6 +88,28 @@ func main() {
 		ReadTimeout: *readTimeout,
 	}
 
+	// Observability endpoint: a separate listener so a scraper never
+	// competes with the measurement protocol for the main ports.
+	var obsSrv *http.Server
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.Metrics = remote.NewServerMetrics(reg)
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detail := func() any {
+			return map[string]any{
+				"benchmark": app.Name(),
+				"tasks":     tb.TaskCount(),
+				"topology":  tb.Machine.Topo.String(),
+			}
+		}
+		obsSrv = &http.Server{Handler: obs.Mux(reg, nil, detail)}
+		go obsSrv.Serve(ml)
+		fmt.Printf("observability at http://%s/metrics and /healthz\n", ml.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -90,6 +119,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("forced shutdown: %v", err)
+		}
+		if obsSrv != nil {
+			obsSrv.Close()
 		}
 	}()
 	var wg sync.WaitGroup

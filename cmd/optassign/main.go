@@ -10,6 +10,7 @@
 //	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
 //	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
 //	          [-workers 8] [-connect host1:7070,host2:7070]
+//	          [-progress] [-metrics-addr :9130]
 //
 // Fault tolerance: -retries/-timeout wrap the measurement source in a
 // resilient runner (retry with backoff, quarantine after the budget);
@@ -25,6 +26,13 @@
 // seed, so worker count — and even serial vs parallel — may change freely
 // across a -resume. To open several connections to one server, repeat its
 // address.
+//
+// Observability: -progress keeps a live status line on stderr (sample
+// count, best observed, ÛPB and its CI, the convergence gap, retries and
+// worker utilization); -metrics-addr serves the same state as Prometheus
+// metrics at /metrics plus a JSON /healthz while the campaign runs.
+// Instrumentation only observes — results and journal bytes are
+// identical with it on or off.
 package main
 
 import (
@@ -32,11 +40,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"optassign/internal/apps"
 	"optassign/internal/assign"
@@ -44,9 +56,69 @@ import (
 	"optassign/internal/core"
 	"optassign/internal/netdps"
 	"optassign/internal/netgen"
+	"optassign/internal/obs"
 	"optassign/internal/remote"
 	"optassign/internal/t2"
 )
+
+// progressPrinter renders the campaign's "round" events as a live status
+// line on stderr, augmented with retry counts and worker utilization read
+// from the metric bundles. Only "round" events mutate its state, and those
+// arrive from the single iterate loop, so Emit needs no locking.
+type progressPrinter struct {
+	out     io.Writer
+	start   time.Time
+	workers int
+	resm    *core.ResilientMetrics
+	poolm   *core.PoolMetrics
+	last    int // previous line length, for overwrite padding
+}
+
+// Emit implements obs.EventSink.
+func (p *progressPrinter) Emit(e obs.Event) {
+	if e.Name != "round" {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "round %v: n=%v best=%.6g", e.Field("round"), e.Field("samples"), e.Field("best"))
+	if tu, _ := e.Field("tail_unbounded").(bool); tu {
+		b.WriteString(" tail unbounded, sampling more")
+	} else {
+		fmt.Fprintf(&b, " UPB=%.6g CI=[%.6g, %.6g] gap=%.2f%%",
+			e.Field("upb"), e.Field("upb_lo"), e.Field("upb_hi"), e.Field("headroom_hi_pct"))
+	}
+	if q, ok := e.Field("quarantined").(int); ok && q > 0 {
+		fmt.Fprintf(&b, " quarantined=%d", q)
+	}
+	if p.resm != nil {
+		if r := p.resm.Retries.Value(); r > 0 {
+			fmt.Fprintf(&b, " retries=%.0f", r)
+		}
+	}
+	if p.poolm != nil && p.workers > 1 {
+		busy := 0.0
+		for _, c := range p.poolm.BusySeconds {
+			busy += c.Value()
+		}
+		if elapsed := time.Since(p.start).Seconds(); elapsed > 0 {
+			fmt.Fprintf(&b, " util=%.0f%%", 100*busy/(elapsed*float64(p.workers)))
+		}
+	}
+	line := b.String()
+	pad := p.last - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	p.last = len(line)
+	fmt.Fprintf(p.out, "\r%s%s", line, strings.Repeat(" ", pad))
+}
+
+// done terminates the live line so regular output starts on a fresh one.
+func (p *progressPrinter) done() {
+	if p != nil && p.last > 0 {
+		fmt.Fprintln(p.out)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -68,6 +140,8 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per measurement before quarantining it (0 disables the resilient wrapper unless -timeout is set)")
 	journalPath := flag.String("journal", "", "write-ahead journal file: every measurement is persisted as it completes")
 	resume := flag.Bool("resume", false, "resume the campaign from the -journal file instead of starting over")
+	progress := flag.Bool("progress", false, "keep a live status line on stderr as the campaign converges")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the campaign runs (empty disables)")
 	flag.Parse()
 
 	if *resume && *journalPath == "" {
@@ -81,6 +155,21 @@ func main() {
 		}
 	}
 
+	// Observability: one registry feeds both the -progress status line and
+	// the -metrics-addr scrape endpoint. Everything below passes events
+	// and metric bundles down as nil when neither is requested, so the
+	// uninstrumented campaign pays nothing.
+	var reg *obs.Registry
+	if *progress || *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var prog *progressPrinter
+	var events obs.EventSink
+	if *progress {
+		prog = &progressPrinter{out: os.Stderr, start: time.Now()}
+		events = prog
+	}
+
 	var (
 		runner core.ContextRunner
 		topo   t2.Topology
@@ -89,7 +178,11 @@ func main() {
 	)
 	switch {
 	case len(addrs) > 1:
-		pool, err := remote.DialPool(addrs, remote.PoolConfig{})
+		pool, err := remote.DialPool(addrs, remote.PoolConfig{
+			Client:  remote.ClientConfig{Events: events, Metrics: remote.NewClientMetrics(reg)},
+			Events:  events,
+			Metrics: remote.NewPoolMetrics(reg),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,7 +190,12 @@ func main() {
 		runner, topo, tasks, name = pool, pool.Topology(), pool.Tasks(), pool.Hello().Name
 		fmt.Printf("remote testbed pool: %d servers, %d tasks on %s\n", pool.Size(), tasks, topo)
 	case len(addrs) == 1:
-		client, err := remote.Dial(addrs[0])
+		addr := addrs[0]
+		client, err := remote.DialConfig(remote.ClientConfig{
+			Dial:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			Events:  events,
+			Metrics: remote.NewClientMetrics(reg),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,6 +215,21 @@ func main() {
 		fmt.Printf("benchmark %s: %d instances (%d tasks) on %s\n", name, *instances, tasks, topo)
 	}
 
+	// The scrape endpoint starts before the campaign so a dashboard sees
+	// the very first round land.
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detail := func() any {
+			return map[string]any{"benchmark": name, "tasks": tasks, "topology": topo.String()}
+		}
+		go http.Serve(ml, obs.Mux(reg, nil, detail))
+		defer ml.Close()
+		fmt.Printf("observability at http://%s/metrics and /healthz\n", ml.Addr())
+	}
+
 	cfg := core.IterConfig{
 		Topo:          topo,
 		Tasks:         tasks,
@@ -125,6 +238,8 @@ func main() {
 		Ndelta:        *ndelta,
 		MaxSamples:    *maxSamples,
 		Seed:          *seed,
+		Events:        events,
+		Metrics:       core.NewIterMetrics(reg),
 	}
 
 	// Resilience layer: retry transient failures with backoff, quarantine
@@ -134,11 +249,16 @@ func main() {
 			MaxAttempts: *retries + 1,
 			Timeout:     *timeout,
 			Seed:        *seed,
+			Events:      events,
+			Metrics:     core.NewResilientMetrics(reg),
 		}
 		if *verbose {
 			rcfg.OnRetry = func(a assign.Assignment, attempt int, err error) {
 				log.Printf("retrying %s (attempt %d failed: %v)", a, attempt, err)
 			}
+		}
+		if prog != nil {
+			prog.resm = rcfg.Metrics
 		}
 		runner = core.NewResilientRunner(core.AsRunner(runner), rcfg)
 	}
@@ -165,6 +285,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		j.Instrument(campaign.NewJournalMetrics(reg))
 		defer j.Close()
 	}
 
@@ -204,6 +325,11 @@ func main() {
 		if perr != nil {
 			log.Fatal(perr)
 		}
+		pm := core.NewPoolMetrics(reg, nWorkers)
+		pool.Instrument(pm)
+		if prog != nil {
+			prog.poolm, prog.workers = pm, nWorkers
+		}
 		fmt.Printf("measuring with %d parallel workers\n", nWorkers)
 		res, err = core.IterateParallel(ctx, cfg, pool, core.ChainCommits(commits...))
 	} else {
@@ -215,6 +341,7 @@ func main() {
 		}
 		res, err = core.IterateContext(ctx, cfg, runner)
 	}
+	prog.done()
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !errors.Is(err, core.ErrBudgetExhausted) && !interrupted {
 		log.Fatal(err)

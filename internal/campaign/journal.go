@@ -6,11 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
+	"time"
 
 	"optassign/internal/assign"
 	"optassign/internal/core"
+	"optassign/internal/obs"
 	"optassign/internal/t2"
 )
 
@@ -34,10 +37,16 @@ type JournalHeader struct {
 // successful one, an error string for a quarantined one. Seq numbers the
 // entries from 1 so a resumed run can fast-forward its RNG by exactly the
 // draws the interrupted run consumed.
+//
+// Perf deliberately has no omitempty: a legitimate perf == 0 success
+// must be journaled explicitly rather than silently eliding the field
+// and making the entry read like a failure record missing its error.
+// (Entries distinguish success from quarantine by Error alone, so old
+// journals without the field still load.)
 type JournalEntry struct {
 	Seq   int     `json:"seq"`
 	Ctx   []int   `json:"ctx"`
-	Perf  float64 `json:"perf,omitempty"`
+	Perf  float64 `json:"perf"`
 	Error string  `json:"error,omitempty"`
 }
 
@@ -47,11 +56,48 @@ type JournalEntry struct {
 // measurement (§5.4) that turns a crash from "lose 2 hours" into "lose
 // 1.5 seconds". It is safe for concurrent use.
 type Journal struct {
-	mu     sync.Mutex
-	f      *os.File
-	header JournalHeader
-	seq    int
-	closed bool
+	mu      sync.Mutex
+	f       *os.File
+	header  JournalHeader
+	seq     int
+	closed  bool
+	metrics *JournalMetrics
+}
+
+// JournalMetrics observes the write-ahead journal: entries by kind,
+// bytes persisted, and sync latency (the fsync cost an operator trades
+// for power-loss safety). Constructed via NewJournalMetrics; a nil
+// bundle disables recording per the internal/obs conventions.
+type JournalMetrics struct {
+	Successes   *obs.Counter
+	Failures    *obs.Counter
+	Bytes       *obs.Counter
+	Syncs       *obs.Counter
+	SyncSeconds *obs.Histogram
+}
+
+// NewJournalMetrics registers the journal series on r; a nil registry
+// yields a nil bundle.
+func NewJournalMetrics(r *obs.Registry) *JournalMetrics {
+	if r == nil {
+		return nil
+	}
+	return &JournalMetrics{
+		Successes:   r.Counter("optassign_journal_entries_total", "Journaled measurements, by outcome.", obs.L("kind", "success")),
+		Failures:    r.Counter("optassign_journal_entries_total", "Journaled measurements, by outcome.", obs.L("kind", "failure")),
+		Bytes:       r.Counter("optassign_journal_bytes_total", "Bytes appended to the journal, header included."),
+		Syncs:       r.Counter("optassign_journal_syncs_total", "Explicit syncs to stable storage."),
+		SyncSeconds: r.Histogram("optassign_journal_sync_seconds", "Latency of journal syncs.", obs.DurationBuckets()),
+	}
+}
+
+// Instrument attaches a metrics bundle to the journal. Instrumentation
+// observes writes only — it never alters what bytes land in the file,
+// keeping journals byte-identical with observability on or off.
+func (j *Journal) Instrument(m *JournalMetrics) {
+	j.mu.Lock()
+	j.metrics = m
+	j.mu.Unlock()
 }
 
 // CreateJournal starts a fresh journal at path (truncating any previous
@@ -121,8 +167,16 @@ func (j *Journal) Len() int {
 	return j.seq
 }
 
-// Append journals one successful measurement.
+// Append journals one successful measurement. A non-finite perf is
+// rejected up front with a clear error: encoding/json cannot represent
+// NaN or ±Inf, and letting it fail mid-campaign surfaces as an opaque
+// "unsupported value" encode error long after the bad measurement —
+// whereas a testbed reporting a non-finite performance is the actual
+// fault worth reporting.
 func (j *Journal) Append(a assign.Assignment, perf float64) error {
+	if math.IsNaN(perf) || math.IsInf(perf, 0) {
+		return fmt.Errorf("campaign: journal: non-finite performance %v for %s (testbed fault?)", perf, a)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.writeLine(JournalEntry{Seq: j.seq + 1, Ctx: a.Ctx, Perf: perf})
@@ -155,6 +209,16 @@ func (j *Journal) writeLine(v any) error {
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("campaign: journal write: %w", err)
 	}
+	if m := j.metrics; m != nil {
+		m.Bytes.Add(float64(len(line) + 1))
+		if e, ok := v.(JournalEntry); ok {
+			if e.Error != "" {
+				m.Failures.Inc()
+			} else {
+				m.Successes.Inc()
+			}
+		}
+	}
 	if e, ok := v.(JournalEntry); ok {
 		j.seq = e.Seq
 	}
@@ -183,7 +247,16 @@ func (j *Journal) Commit(a assign.Assignment, perf float64, measureErr error) er
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Sync()
+	start := time.Time{}
+	if j.metrics != nil {
+		start = time.Now()
+	}
+	err := j.f.Sync()
+	if m := j.metrics; m != nil {
+		m.SyncSeconds.Observe(time.Since(start).Seconds())
+		m.Syncs.Inc()
+	}
+	return err
 }
 
 // Close flushes and closes the journal file.

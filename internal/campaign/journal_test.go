@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"optassign/internal/assign"
@@ -293,6 +295,71 @@ func TestJournalResumeAfterSimulatedCrash(t *testing.T) {
 		if final.Results[i].Perf != full[i].Perf {
 			t.Fatalf("journaled measurement %d differs from uninterrupted run", i)
 		}
+	}
+}
+
+func TestJournalAppendRejectsNonFinitePerf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, journalHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	as := drawN(t, 9, 2)
+	for _, perf := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := j.Append(as[0], perf)
+		if err == nil {
+			t.Fatalf("Append(%v) accepted", perf)
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("Append(%v) error %q does not name the cause", perf, err)
+		}
+	}
+	// The rejected appends must not have consumed sequence numbers or torn
+	// the file: the journal stays usable and loads cleanly.
+	if err := j.Append(as[1], 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Draws != 1 || len(st.Results) != 1 || st.Results[0].Perf != 42 {
+		t.Fatalf("state after rejected appends = %+v", st)
+	}
+}
+
+func TestJournalZeroPerfIsExplicit(t *testing.T) {
+	// perf = 0 is a legal measurement; with omitempty it vanished from the
+	// JSON, making the entry indistinguishable from a malformed one by eye.
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, journalHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drawN(t, 9, 1)[0]
+	if err := j.Append(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"perf":0`) {
+		t.Errorf("journal entry omits perf field:\n%s", data)
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != 1 || st.Results[0].Perf != 0 || st.Quarantined != 0 {
+		t.Fatalf("zero-perf entry did not round-trip: %+v", st)
 	}
 }
 

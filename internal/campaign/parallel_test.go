@@ -22,6 +22,7 @@ import (
 	"optassign/internal/core"
 	"optassign/internal/evt"
 	"optassign/internal/faulty"
+	"optassign/internal/obs"
 	"optassign/internal/t2"
 )
 
@@ -132,6 +133,104 @@ func TestParallelJournalMatchesSerial(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// equivStackInstrumented is equivStack with the resilient layer's events
+// and metrics attached, for the instrumented-determinism test.
+func equivStackInstrumented(withFaults bool, reg *obs.Registry, sink obs.EventSink) core.ContextRunner {
+	base := core.ContextRunnerFunc(func(ctx context.Context, a assign.Assignment) (float64, error) {
+		return equivPerf(a), nil
+	})
+	if !withFaults {
+		return base
+	}
+	inj := faulty.NewRunner(core.AsRunner(base), faulty.Config{
+		Seed:            5,
+		PermanentRate:   0.04,
+		TransientRate:   0.15,
+		KeyByAssignment: true,
+	})
+	return core.NewResilientRunner(inj, core.ResilientConfig{
+		MaxAttempts: 2,
+		BaseDelay:   time.Nanosecond,
+		MaxDelay:    time.Microsecond,
+		Events:      sink,
+		Metrics:     core.NewResilientMetrics(reg),
+	})
+}
+
+// TestInstrumentedJournalMatchesUninstrumentedSerial is the
+// zero-influence guarantee of internal/obs put to the proof: a campaign
+// with every instrument attached — resilient, pool, journal and
+// iteration metrics plus an event sink — writes the same journal bytes
+// and returns the same result as a bare serial run, at every worker
+// count.
+func TestInstrumentedJournalMatchesUninstrumentedSerial(t *testing.T) {
+	const seed = 12
+	for _, withFaults := range []bool{false, true} {
+		serialBytes, serialRes, serialErr := runSerialJournaled(t, t.TempDir(), seed, withFaults)
+		for _, workers := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("faults=%v-workers%d", withFaults, workers), func(t *testing.T) {
+				reg := obs.NewRegistry()
+				sink := &obs.CollectorSink{}
+				path := filepath.Join(t.TempDir(), "instrumented.journal")
+				j, err := CreateJournal(path, equivHeader(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				j.Instrument(NewJournalMetrics(reg))
+				pool, err := core.NewReplicatedPool(equivStackInstrumented(withFaults, reg, sink), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pm := core.NewPoolMetrics(reg, workers)
+				pool.Instrument(pm)
+				cfg := equivConfig(seed)
+				cfg.Events = sink
+				cfg.Metrics = core.NewIterMetrics(reg)
+				res, iterErr := core.IterateParallel(context.Background(), cfg, pool, j.Commit)
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(iterErr) != fmt.Sprint(serialErr) {
+					t.Fatalf("iterate error %v, serial %v", iterErr, serialErr)
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(data, serialBytes) {
+					t.Fatalf("instrumented journal differs from bare serial:\ninstrumented %d bytes\nserial %d bytes",
+						len(data), len(serialBytes))
+				}
+				if res.Samples != serialRes.Samples || !reflect.DeepEqual(res.Best, serialRes.Best) {
+					t.Fatalf("result (%d, %v) differs from serial (%d, %v)",
+						res.Samples, res.Best, serialRes.Samples, serialRes.Best)
+				}
+				// The instruments really watched the campaign — equality
+				// must not come from instrumentation silently disabled.
+				if sink.Count("round") == 0 {
+					t.Error("no round events collected")
+				}
+				if got, want := pm.Committed.Value(), float64(res.Samples+len(res.Quarantined)); got != want {
+					t.Errorf("committed counter = %v, want %v draws", got, want)
+				}
+				var expo bytes.Buffer
+				if err := reg.WritePrometheus(&expo); err != nil {
+					t.Fatal(err)
+				}
+				for _, series := range []string{
+					"optassign_pool_committed_total",
+					"optassign_journal_entries_total",
+					"optassign_campaign_samples",
+				} {
+					if !bytes.Contains(expo.Bytes(), []byte(series)) {
+						t.Errorf("exposition lacks %s", series)
+					}
+				}
+			})
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"optassign/internal/assign"
 	"optassign/internal/evt"
+	"optassign/internal/obs"
 	"optassign/internal/t2"
 )
 
@@ -42,6 +43,15 @@ type IterConfig struct {
 	// a resumed campaign continues the exact assignment sequence the
 	// interrupted one was executing. 0 defaults to len(Resume).
 	ResumeDraws int
+	// Events receives one "round" event per estimation round (§5.3
+	// Fig. 13 iteration): sample sizes, the best observed performance,
+	// ÛPB with its confidence interval, and the convergence gap. This is
+	// what live progress displays subscribe to. nil disables.
+	Events obs.EventSink
+	// Metrics publishes the same per-round state as gauges for scraping.
+	// nil disables. Neither hook influences the campaign: draws, RNG
+	// consumption and results are identical with observability on or off.
+	Metrics *IterMetrics
 }
 
 func (c IterConfig) withDefaults() IterConfig {
@@ -152,10 +162,14 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 		}
 	}
 	// collect measures `add` fresh draws, accumulating quarantines.
+	// lastAdded feeds the round event: Ninit on the first round, Ndelta
+	// (or the budget remainder) afterwards.
+	lastAdded := 0
 	collect := func(add int) error {
 		more, skipped, err := collectFresh(ctx, rng, add)
 		results = append(results, more...)
 		res.Quarantined = append(res.Quarantined, skipped...)
+		lastAdded = add
 		return err
 	}
 	if need := cfg.Ninit - len(results); need > 0 {
@@ -167,6 +181,7 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 			return res, err
 		}
 	}
+	round := 0
 	for {
 		res.Samples = len(results)
 		if len(results) == 0 {
@@ -174,11 +189,28 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 		}
 		res.Best = results[Best(results)]
 		est, err := EstimateOptimal(Perfs(results), cfg.POT)
+		round++
+		if m := cfg.Metrics; m != nil {
+			m.Rounds.Inc()
+			m.Samples.Set(float64(len(results)))
+			m.Quarantined.Set(float64(len(res.Quarantined)))
+			m.BestObserved.Set(res.Best.Perf)
+		}
 		switch {
 		case errors.Is(err, evt.ErrUnboundedTail):
 			// The sample's tail is not yet distinguishable from an
 			// unbounded one (ξ̂ >= 0), so the optimum cannot be bounded.
 			// More observations sharpen the tail; keep sampling.
+			if cfg.Events != nil {
+				cfg.Events.Emit(obs.Event{Name: "round", Fields: []obs.Field{
+					{Key: "round", Value: round},
+					{Key: "samples", Value: len(results)},
+					{Key: "quarantined", Value: len(res.Quarantined)},
+					{Key: "added", Value: lastAdded},
+					{Key: "best", Value: res.Best.Perf},
+					{Key: "tail_unbounded", Value: true},
+				}})
+			}
 		case err != nil:
 			return res, fmt.Errorf("core: estimation at %d samples: %w", len(results), err)
 		default:
@@ -188,7 +220,31 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 			// met only when even the 0.95-confidence upper bound on the
 			// optimum is within the acceptable loss of the best observed
 			// assignment.
-			if est.HeadroomHiPct <= cfg.AcceptLossPct {
+			satisfied := est.HeadroomHiPct <= cfg.AcceptLossPct
+			if m := cfg.Metrics; m != nil {
+				m.UPB.Set(est.Optimal)
+				m.UPBLo.Set(est.Lo)
+				m.UPBHi.Set(est.Hi)
+				m.HeadroomHiPct.Set(est.HeadroomHiPct)
+				if satisfied {
+					m.Satisfied.Set(1)
+				}
+			}
+			if cfg.Events != nil {
+				cfg.Events.Emit(obs.Event{Name: "round", Fields: []obs.Field{
+					{Key: "round", Value: round},
+					{Key: "samples", Value: len(results)},
+					{Key: "quarantined", Value: len(res.Quarantined)},
+					{Key: "added", Value: lastAdded},
+					{Key: "best", Value: res.Best.Perf},
+					{Key: "upb", Value: est.Optimal},
+					{Key: "upb_lo", Value: est.Lo},
+					{Key: "upb_hi", Value: est.Hi},
+					{Key: "headroom_hi_pct", Value: est.HeadroomHiPct},
+					{Key: "satisfied", Value: satisfied},
+				}})
+			}
+			if satisfied {
 				res.Satisfied = true
 				return res, nil
 			}

@@ -67,11 +67,18 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 	pending := make(map[int]Outcome, pool.Workers())
 	commitNext := 0
 	var finalErr error
+	m := pool.metrics
 
 	results = make([]SampleResult, 0, n)
 	for c := range pool.stream(poolCtx, as) {
 		if finalErr != nil {
 			continue // drain only; the campaign is already aborted
+		}
+		if m != nil {
+			// How far ahead of the commit point this completion landed:
+			// 0 means it commits immediately, larger values mean a slow
+			// earlier draw is holding the buffer open.
+			m.CommitLag.Observe(float64(c.i - commitNext))
 		}
 		pending[c.i] = c.o
 		for {
@@ -106,10 +113,16 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 			default:
 				finalErr = fmt.Errorf("core: measuring assignment: %w", o.Err)
 			}
+			if m != nil && finalErr == nil {
+				m.Committed.Inc()
+			}
 			if finalErr != nil {
 				cancel() // stop burning testbed time on discarded draws
 				break
 			}
+		}
+		if m != nil {
+			m.ReorderDepth.Set(float64(len(pending)))
 		}
 	}
 	return results, skipped, finalErr

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"optassign/internal/assign"
 )
@@ -33,6 +34,7 @@ type Outcome struct {
 // byte-identical to a serial one.
 type PoolRunner struct {
 	workers []ContextRunner
+	metrics *PoolMetrics
 }
 
 // NewPoolRunner builds a pool with one goroutine per worker runner. Each
@@ -73,6 +75,13 @@ func NewReplicatedPool(runner ContextRunner, n int) (*PoolRunner, error) {
 // Workers returns the pool's concurrency.
 func (p *PoolRunner) Workers() int { return len(p.workers) }
 
+// Instrument attaches a metrics bundle (typically NewPoolMetrics with
+// this pool's worker count). Instrumentation only observes — dispatch
+// order, RNG consumption and commit order are untouched, so the
+// deterministic-equivalence guarantee holds with it on. A nil bundle
+// leaves the pool uninstrumented. Call before the first measurement.
+func (p *PoolRunner) Instrument(m *PoolMetrics) { p.metrics = m }
+
 // completion pairs an outcome with the draw index it belongs to.
 type completion struct {
 	i int
@@ -106,15 +115,30 @@ func (p *PoolRunner) stream(ctx context.Context, as []assign.Assignment) <-chan 
 			}
 		}
 	}()
-	for _, w := range p.workers {
+	m := p.metrics
+	for wi, w := range p.workers {
 		wg.Add(1)
-		go func(w ContextRunner) {
+		go func(wi int, w ContextRunner) {
 			defer wg.Done()
+			busy := m.busy(wi)
 			for i := range next {
+				if m != nil {
+					m.Dispatched.Inc()
+				}
+				start := time.Time{}
+				if busy != nil {
+					start = time.Now()
+				}
 				perf, err := w.MeasureContext(ctx, as[i])
+				if busy != nil {
+					busy.Add(time.Since(start).Seconds())
+				}
+				if m != nil {
+					m.Completed.Inc()
+				}
 				out <- completion{i, Outcome{Perf: perf, Err: err, Started: true}}
 			}
-		}(w)
+		}(wi, w)
 	}
 	go func() {
 		wg.Wait()

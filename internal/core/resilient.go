@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"optassign/internal/assign"
+	"optassign/internal/obs"
 )
 
 // ErrQuarantined marks a measurement that was abandoned after exhausting
@@ -70,6 +71,14 @@ type ResilientConfig struct {
 	// OnRetry, if set, observes every failed attempt that will be
 	// retried (for logging).
 	OnRetry func(a assign.Assignment, attempt int, err error)
+	// Events receives the runner's lifecycle as structured events:
+	// "retry", "quarantine", "attempt_abandoned" and — when an abandoned
+	// attempt's goroutine eventually returns — "attempt_late_result"
+	// with the outcome that would otherwise vanish. nil disables.
+	Events obs.EventSink
+	// Metrics counts attempts, retries, backoff time, quarantines and
+	// abandoned attempts. nil disables.
+	Metrics *ResilientMetrics
 	// sleep is a test seam; nil means a ctx-aware time.Sleep.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -163,6 +172,7 @@ func (r *ResilientRunner) Measure(a assign.Assignment) (float64, error) {
 func (r *ResilientRunner) MeasureContext(ctx context.Context, a assign.Assignment) (float64, error) {
 	var lastErr error
 	for attempt := 1; attempt <= r.cfg.MaxAttempts; attempt++ {
+		r.cfg.Metrics.attempts().Inc()
 		perf, err := r.attempt(WithAttempt(ctx, attempt), a)
 		if err == nil {
 			return perf, nil
@@ -182,7 +192,17 @@ func (r *ResilientRunner) MeasureContext(ctx context.Context, a assign.Assignmen
 		if r.cfg.OnRetry != nil {
 			r.cfg.OnRetry(a, attempt, err)
 		}
-		if err := r.cfg.sleep(ctx, r.backoff(attempt)); err != nil {
+		r.cfg.Metrics.retries().Inc()
+		if r.cfg.Events != nil {
+			r.cfg.Events.Emit(obs.Event{Name: "retry", Fields: []obs.Field{
+				{Key: "assignment", Value: a.String()},
+				{Key: "attempt", Value: attempt},
+				{Key: "error", Value: err.Error()},
+			}})
+		}
+		delay := r.backoff(attempt)
+		r.cfg.Metrics.backoffSeconds().Add(delay.Seconds())
+		if err := r.cfg.sleep(ctx, delay); err != nil {
 			return 0, err
 		}
 	}
@@ -214,6 +234,41 @@ func (r *ResilientRunner) attempt(ctx context.Context, a assign.Assignment) (flo
 	case o := <-ch:
 		return o.perf, o.err
 	case <-ctx.Done():
+		// The attempt is abandoned on its goroutine. Its eventual outcome
+		// used to vanish silently — the assignment could be quarantined
+		// even though a measurement later succeeded, and the operator had
+		// no evidence Timeout was set too tight. Record the abandonment
+		// and, when observability is on, keep a watcher around to report
+		// the late outcome once the goroutine returns.
+		r.cfg.Metrics.abandoned().Inc()
+		if r.cfg.Events != nil {
+			r.cfg.Events.Emit(obs.Event{Name: "attempt_abandoned", Fields: []obs.Field{
+				{Key: "assignment", Value: a.String()},
+				{Key: "attempt", Value: Attempt(ctx)},
+				{Key: "cause", Value: ctx.Err().Error()},
+			}})
+		}
+		if r.cfg.Events != nil || r.cfg.Metrics != nil {
+			abandonedAt := time.Now()
+			attempt := Attempt(ctx)
+			go func() {
+				o := <-ch
+				r.cfg.Metrics.lateOutcome(o.err == nil).Inc()
+				if r.cfg.Events != nil {
+					fields := []obs.Field{
+						{Key: "assignment", Value: a.String()},
+						{Key: "attempt", Value: attempt},
+						{Key: "late_by_seconds", Value: time.Since(abandonedAt).Seconds()},
+					}
+					if o.err == nil {
+						fields = append(fields, obs.Field{Key: "perf", Value: o.perf})
+					} else {
+						fields = append(fields, obs.Field{Key: "error", Value: o.err.Error()})
+					}
+					r.cfg.Events.Emit(obs.Event{Name: "attempt_late_result", Fields: fields})
+				}
+			}()
+		}
 		return 0, fmt.Errorf("core: measurement attempt: %w", ctx.Err())
 	}
 }
@@ -238,5 +293,13 @@ func (r *ResilientRunner) quarantine(a assign.Assignment, attempts int, cause er
 	r.mu.Lock()
 	r.failed = append(r.failed, FailedMeasurement{Assignment: a.Clone(), Attempts: attempts, Err: cause})
 	r.mu.Unlock()
+	r.cfg.Metrics.quarantines().Inc()
+	if r.cfg.Events != nil {
+		r.cfg.Events.Emit(obs.Event{Name: "quarantine", Fields: []obs.Field{
+			{Key: "assignment", Value: a.String()},
+			{Key: "attempts", Value: attempts},
+			{Key: "error", Value: cause.Error()},
+		}})
+	}
 	return fmt.Errorf("%w after %d attempt(s): %w", ErrQuarantined, attempts, cause)
 }

@@ -110,7 +110,14 @@ func UPBConfidenceInterval(u float64, ys []float64, fit Fit, alpha float64) (UPB
 	// plunges to −∞) and the point estimate. The best observed performance
 	// is always a valid lower bound for the optimum, so fall back to it if
 	// the bracket degenerates numerically.
-	loBracket := maxObs * (1 + 1e-12)
+	//
+	// The bracket must sit just *above* maxObs — the profile's support
+	// starts there. A relative nudge like maxObs·(1+1e-12) moves the
+	// wrong way when maxObs <= 0 (negative performance scales are legal:
+	// latencies negated into "higher is better", log-scores), landing the
+	// bracket in the −Inf region and skewing the bisection. Nextafter is
+	// direction-correct for every sign and magnitude.
+	loBracket := math.Nextafter(maxObs, math.Inf(1))
 	if h(loBracket) >= 0 || point <= loBracket {
 		iv.Lo = maxObs
 	} else {

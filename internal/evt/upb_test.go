@@ -114,6 +114,53 @@ func TestUPBConfidenceIntervalBracketsTruth(t *testing.T) {
 	}
 }
 
+func TestUPBConfidenceIntervalNegativeScale(t *testing.T) {
+	// Performance metrics where "higher is better" is arranged by negation
+	// (latencies, log-scores) put the whole sample below zero. The lower
+	// bracket must still land just above the best observation: a relative
+	// nudge like maxObs·(1+1e-12) moves *down* when maxObs < 0, into the
+	// profile's −Inf region.
+	truth := GPD{Xi: -0.25, Sigma: 1} // exceedances bounded by 4
+	u := -50.0
+	rng := rand.New(rand.NewSource(7))
+	ys := truth.Sample(rng, 1500)
+	fit, err := FitGPD(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := UPBConfidenceInterval(u, ys, fit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxObs := u + statsMax(ys)
+	if maxObs >= 0 {
+		t.Fatalf("test setup broken: maxObs = %v, want negative", maxObs)
+	}
+	if iv.Lo < maxObs {
+		t.Errorf("CI lower bound %v below best observation %v", iv.Lo, maxObs)
+	}
+	if !(iv.Lo <= iv.Point && iv.Point <= iv.Hi) {
+		t.Errorf("point %v outside CI [%v, %v]", iv.Point, iv.Lo, iv.Hi)
+	}
+	// The lower bound sits strictly inside the profile's support, so the
+	// profile there is finite — not the −Inf region the old bracket hit.
+	if iv.Lo > maxObs {
+		if pl, _ := ProfileLogLikelihood(u, ys, iv.Lo); math.IsInf(pl, -1) {
+			t.Errorf("profile at CI lower bound %v is -Inf", iv.Lo)
+		}
+	}
+}
+
+func statsMax(ys []float64) float64 {
+	m := math.Inf(-1)
+	for _, y := range ys {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
 func TestUPBConfidenceIntervalNarrowsWithSampleSize(t *testing.T) {
 	// Figure 11's headline behaviour: more exceedances → tighter interval.
 	truth := GPD{Xi: -0.3, Sigma: 2}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Field is one key/value of a structured event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured occurrence inside the measurement stack — a
+// retry, a quarantine, a reconnect, an estimation round. Names are
+// snake_case and stable; DESIGN.md §9 catalogs them.
+type Event struct {
+	Name   string
+	Fields []Field
+}
+
+// Field returns the value for key, or nil.
+func (e Event) Field(key string) any {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value
+		}
+	}
+	return nil
+}
+
+// EventSink receives structured events. Implementations must be safe for
+// concurrent use and must not block: sinks run inline on measurement
+// paths (the sequencing is what makes events trustworthy), so a slow sink
+// slows the campaign.
+type EventSink interface {
+	Emit(Event)
+}
+
+// Emit sends an event to s, tolerating a nil sink. Hot paths should
+// still guard with `if s != nil` before building fields so a disabled
+// sink costs no allocation.
+func Emit(s EventSink, name string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.Emit(Event{Name: name, Fields: fields})
+}
+
+// FuncSink adapts a function to EventSink.
+type FuncSink func(Event)
+
+// Emit implements EventSink.
+func (f FuncSink) Emit(e Event) { f(e) }
+
+// MultiSink fans events out to every non-nil sink. It returns nil when
+// no sink remains, so callers keep the cheap nil-disables contract.
+func MultiSink(sinks ...EventSink) EventSink {
+	var live []EventSink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []EventSink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// LogSink writes one logfmt-style line per event ("name key=value ...")
+// to W, serializing concurrent emits.
+type LogSink struct {
+	W io.Writer
+
+	mu sync.Mutex
+}
+
+// Emit implements EventSink.
+func (l *LogSink) Emit(e Event) {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	for _, f := range e.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(formatField(f.Value))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.W, b.String())
+}
+
+func formatField(v any) string {
+	s, ok := v.(string)
+	if !ok {
+		if sg, isStringer := v.(fmt.Stringer); isStringer {
+			s = sg.String()
+		} else if err, isErr := v.(error); isErr {
+			s = err.Error()
+		} else {
+			return fmt.Sprint(v)
+		}
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}
+
+// CollectorSink buffers events for tests and status displays. Safe for
+// concurrent use.
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements EventSink.
+func (c *CollectorSink) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *CollectorSink) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Count returns how many events with the given name were collected.
+func (c *CollectorSink) Count(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Name == name {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+)
+
+var errDown = errors.New("testbed down")
+
+func httpGet(t *testing.T, url string) (body, contentType string, status int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), resp.Header.Get("Content-Type"), resp.StatusCode
+}

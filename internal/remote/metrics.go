@@ -1,0 +1,81 @@
+package remote
+
+import (
+	"optassign/internal/obs"
+)
+
+// Metric bundles for the remote-measurement layer, following the
+// internal/obs conventions: constructors accept a nil registry and
+// return a nil (disabled) bundle, recording sites guard on nil, and
+// instrumentation never changes protocol behavior.
+
+// ClientMetrics counts one client's (or, when shared through a pool
+// config, all clients') wire activity and recovery work.
+type ClientMetrics struct {
+	Requests          *obs.Counter
+	StreamPoisonings  *obs.Counter
+	Reconnects        *obs.Counter
+	ReconnectFailures *obs.Counter
+}
+
+// NewClientMetrics registers the client series on r; nil registry, nil
+// bundle.
+func NewClientMetrics(r *obs.Registry) *ClientMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ClientMetrics{
+		Requests:          r.Counter("optassign_remote_requests_total", "Measurement requests sent to servers."),
+		StreamPoisonings:  r.Counter("optassign_remote_stream_poisonings_total", "Transport errors that poisoned a request/response stream."),
+		Reconnects:        r.Counter("optassign_remote_reconnects_total", "Successful redial-and-rehandshake recoveries."),
+		ReconnectFailures: r.Counter("optassign_remote_reconnect_failures_total", "Reconnection cycles that exhausted their redial budget."),
+	}
+}
+
+// PoolMetrics counts the pool-level fault tolerance: failovers between
+// servers and the bench/unbench churn of unhealthy ones.
+type PoolMetrics struct {
+	Failovers      *obs.Counter
+	Benches        *obs.Counter
+	Unbenches      *obs.Counter
+	BenchedServers *obs.Gauge
+}
+
+// NewPoolMetrics registers the client-pool series on r; nil registry,
+// nil bundle.
+func NewPoolMetrics(r *obs.Registry) *PoolMetrics {
+	if r == nil {
+		return nil
+	}
+	return &PoolMetrics{
+		Failovers:      r.Counter("optassign_remote_pool_failovers_total", "Measurements moved to another server after a transient failure."),
+		Benches:        r.Counter("optassign_remote_pool_benches_total", "Servers benched after consecutive failures."),
+		Unbenches:      r.Counter("optassign_remote_pool_unbenches_total", "Benched servers restored by a success."),
+		BenchedServers: r.Gauge("optassign_remote_pool_benched_servers", "Servers currently inside a bench cooldown window."),
+	}
+}
+
+// ServerMetrics is what a measurement server (cmd/measured) exposes on
+// /metrics: connection churn and per-measurement throughput/latency.
+type ServerMetrics struct {
+	Connections       *obs.Counter
+	ActiveConnections *obs.Gauge
+	Requests          *obs.Counter
+	MeasureErrors     *obs.Counter
+	MeasureSeconds    *obs.Histogram
+}
+
+// NewServerMetrics registers the server series on r; nil registry, nil
+// bundle.
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		Connections:       r.Counter("optassign_server_connections_total", "Client connections accepted."),
+		ActiveConnections: r.Gauge("optassign_server_active_connections", "Client connections currently being served."),
+		Requests:          r.Counter("optassign_server_requests_total", "Measurement requests received."),
+		MeasureErrors:     r.Counter("optassign_server_measure_errors_total", "Measurements that failed (including invalid assignments)."),
+		MeasureSeconds:    r.Histogram("optassign_server_measure_seconds", "Testbed time per measurement.", obs.DurationBuckets()),
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"optassign/internal/assign"
 	"optassign/internal/core"
+	"optassign/internal/obs"
 	"optassign/internal/t2"
 )
 
@@ -33,6 +34,13 @@ type PoolConfig struct {
 	// core.ResilientRunner above the pool retries the whole cycle with
 	// backoff). 0 means every server.
 	Failover int
+	// Events receives "failover", "server_benched" and
+	// "server_unbenched" events, each carrying the server address. nil
+	// disables. Per-connection events (reconnects, poisonings) come from
+	// the Client config above.
+	Events obs.EventSink
+	// Metrics counts failovers and bench churn. nil disables.
+	Metrics *PoolMetrics
 	// now is a test seam; nil means time.Now.
 	now func() time.Time
 }
@@ -70,20 +78,74 @@ func (s *poolServer) benched(now time.Time) bool {
 	return now.Before(s.benchedUntil)
 }
 
-func (s *poolServer) recordSuccess() {
+// recordSuccess clears a server's strikes; a success on a benched server
+// unbenches it immediately.
+func (p *ClientPool) recordSuccess(s *poolServer) {
+	now := p.cfg.now()
 	s.mu.Lock()
+	wasBenched := now.Before(s.benchedUntil)
 	s.strikes = 0
 	s.benchedUntil = time.Time{}
 	s.mu.Unlock()
+	if wasBenched {
+		if m := p.cfg.Metrics; m != nil {
+			m.Unbenches.Inc()
+		}
+		if p.cfg.Events != nil {
+			p.cfg.Events.Emit(obs.Event{Name: "server_unbenched", Fields: []obs.Field{
+				{Key: "server", Value: s.addr},
+			}})
+		}
+	}
+	p.updateBenchedGauge()
 }
 
-func (s *poolServer) recordFailure(cfg PoolConfig) {
+// recordFailure adds a strike and benches the server once it accumulates
+// QuarantineAfter of them.
+func (p *ClientPool) recordFailure(s *poolServer) {
+	now := p.cfg.now()
 	s.mu.Lock()
+	wasBenched := now.Before(s.benchedUntil)
 	s.strikes++
-	if s.strikes >= cfg.QuarantineAfter {
-		s.benchedUntil = cfg.now().Add(cfg.Cooldown)
+	benched := false
+	if s.strikes >= p.cfg.QuarantineAfter {
+		s.benchedUntil = now.Add(p.cfg.Cooldown)
+		benched = !wasBenched
 	}
+	strikes := s.strikes
 	s.mu.Unlock()
+	if benched {
+		if m := p.cfg.Metrics; m != nil {
+			m.Benches.Inc()
+		}
+		if p.cfg.Events != nil {
+			p.cfg.Events.Emit(obs.Event{Name: "server_benched", Fields: []obs.Field{
+				{Key: "server", Value: s.addr},
+				{Key: "strikes", Value: strikes},
+				{Key: "cooldown", Value: p.cfg.Cooldown.String()},
+			}})
+		}
+	}
+	p.updateBenchedGauge()
+}
+
+// updateBenchedGauge recomputes how many servers sit inside a bench
+// window right now. Bench expiry is passive (no event fires when a
+// cooldown lapses), so the gauge refreshes on every health transition —
+// with a handful of servers per pool the scan is negligible.
+func (p *ClientPool) updateBenchedGauge() {
+	m := p.cfg.Metrics
+	if m == nil {
+		return
+	}
+	now := p.cfg.now()
+	n := 0
+	for _, s := range p.servers {
+		if s.benched(now) {
+			n++
+		}
+	}
+	m.BenchedServers.Set(float64(n))
 }
 
 // ClientPool drives a campaign across several measurement servers — the
@@ -238,7 +300,7 @@ func (p *ClientPool) MeasureContext(ctx context.Context, a assign.Assignment) (f
 		}
 		perf, err := s.client.MeasureContext(ctx, a)
 		if err == nil {
-			s.recordSuccess()
+			p.recordSuccess(s)
 			p.release(s)
 			return perf, nil
 		}
@@ -246,9 +308,22 @@ func (p *ClientPool) MeasureContext(ctx context.Context, a assign.Assignment) (f
 			p.release(s)
 			return 0, err
 		}
-		s.recordFailure(p.cfg)
+		p.recordFailure(s)
 		p.release(s)
 		lastErr = err
+		if try+1 < failover {
+			// The measurement moves on to another server.
+			if m := p.cfg.Metrics; m != nil {
+				m.Failovers.Inc()
+			}
+			if p.cfg.Events != nil {
+				p.cfg.Events.Emit(obs.Event{Name: "failover", Fields: []obs.Field{
+					{Key: "server", Value: s.addr},
+					{Key: "try", Value: try + 1},
+					{Key: "error", Value: err.Error()},
+				}})
+			}
+		}
 	}
 	return 0, fmt.Errorf("remote: %d server(s) failed, last: %w", failover, lastErr)
 }

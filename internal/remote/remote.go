@@ -36,6 +36,7 @@ import (
 
 	"optassign/internal/assign"
 	"optassign/internal/core"
+	"optassign/internal/obs"
 	"optassign/internal/t2"
 )
 
@@ -70,6 +71,9 @@ type Server struct {
 	// pins a handler goroutine forever; with it the handler times out
 	// and the connection is reaped. 0 disables the deadline.
 	ReadTimeout time.Duration
+	// Metrics counts connections, requests and measurement latency —
+	// the series cmd/measured exposes on /metrics. nil disables.
+	Metrics *ServerMetrics
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -199,6 +203,10 @@ func (s *Server) trackConn(conn net.Conn) bool {
 	}
 	s.conns[conn] = struct{}{}
 	s.wg.Add(1)
+	if s.Metrics != nil {
+		s.Metrics.Connections.Inc()
+		s.Metrics.ActiveConnections.Inc()
+	}
 	return true
 }
 
@@ -207,6 +215,9 @@ func (s *Server) untrackConn(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	if s.Metrics != nil {
+		s.Metrics.ActiveConnections.Dec()
+	}
 	s.wg.Done()
 }
 
@@ -226,16 +237,29 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		resp := Response{ID: req.ID}
 		a := assign.Assignment{Topo: s.Topo, Ctx: req.Ctx}
+		if s.Metrics != nil {
+			s.Metrics.Requests.Inc()
+		}
 		switch {
 		case len(req.Ctx) != s.Tasks:
 			resp.Error = fmt.Sprintf("remote: assignment has %d tasks, testbed runs %d", len(req.Ctx), s.Tasks)
 		default:
+			start := time.Time{}
+			if s.Metrics != nil {
+				start = time.Now()
+			}
 			perf, err := s.Runner.Measure(a)
+			if s.Metrics != nil {
+				s.Metrics.MeasureSeconds.Observe(time.Since(start).Seconds())
+			}
 			if err != nil {
 				resp.Error = err.Error()
 			} else {
 				resp.Perf = perf
 			}
+		}
+		if s.Metrics != nil && resp.Error != "" {
+			s.Metrics.MeasureErrors.Inc()
 		}
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -261,6 +285,13 @@ type ClientConfig struct {
 	// RedialBase and RedialMax shape the backoff between redials:
 	// RedialBase doubling up to RedialMax. Defaults 100 ms and 3 s.
 	RedialBase, RedialMax time.Duration
+	// Events receives "stream_poisoned", "reconnect" and
+	// "reconnect_failed" events. nil disables.
+	Events obs.EventSink
+	// Metrics counts requests, poisonings and reconnects; a bundle
+	// shared between clients (e.g. across a pool) aggregates them. nil
+	// disables.
+	Metrics *ClientMetrics
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -407,13 +438,16 @@ func (c *Client) MeasureContext(ctx context.Context, a assign.Assignment) (float
 
 	c.next++
 	req := Request{ID: c.next, Ctx: a.Ctx}
+	if m := c.cfg.Metrics; m != nil {
+		m.Requests.Inc()
+	}
 	if err := c.enc.Encode(req); err != nil {
-		c.poison()
+		c.poison(err)
 		return 0, fmt.Errorf("remote: send: %w (%w)", err, ErrStreamBroken)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		c.poison()
+		c.poison(err)
 		if errors.Is(err, io.EOF) {
 			return 0, fmt.Errorf("remote: server closed the connection (%w)", ErrStreamBroken)
 		}
@@ -422,7 +456,7 @@ func (c *Client) MeasureContext(ctx context.Context, a assign.Assignment) (float
 	if resp.ID != req.ID {
 		// The stream is desynced: some earlier response is still in
 		// flight. Nothing read from this connection can be trusted.
-		c.poison()
+		c.poison(fmt.Errorf("response id %d for request %d", resp.ID, req.ID))
 		return 0, fmt.Errorf("remote: response id %d for request %d (%w)", resp.ID, req.ID, ErrStreamBroken)
 	}
 	if resp.Error != "" {
@@ -436,10 +470,18 @@ func (c *Client) MeasureContext(ctx context.Context, a assign.Assignment) (float
 
 // poison marks the stream unusable and drops the connection. Callers hold
 // c.mu.
-func (c *Client) poison() {
+func (c *Client) poison(cause error) {
 	c.broken = true
 	if c.conn != nil {
 		c.conn.Close()
+	}
+	if m := c.cfg.Metrics; m != nil {
+		m.StreamPoisonings.Inc()
+	}
+	if c.cfg.Events != nil {
+		c.cfg.Events.Emit(obs.Event{Name: "stream_poisoned", Fields: []obs.Field{
+			{Key: "error", Value: cause.Error()},
+		}})
 	}
 }
 
@@ -458,6 +500,14 @@ func (c *Client) reconnect(ctx context.Context) error {
 		conn, err := c.cfg.Dial()
 		if err == nil {
 			if err = c.attach(conn, false); err == nil {
+				if m := c.cfg.Metrics; m != nil {
+					m.Reconnects.Inc()
+				}
+				if c.cfg.Events != nil {
+					c.cfg.Events.Emit(obs.Event{Name: "reconnect", Fields: []obs.Field{
+						{Key: "attempts", Value: attempt},
+					}})
+				}
 				return nil
 			}
 			if core.IsPermanent(err) {
@@ -478,6 +528,15 @@ func (c *Client) reconnect(ctx context.Context) error {
 		if delay *= 2; delay > c.cfg.RedialMax {
 			delay = c.cfg.RedialMax
 		}
+	}
+	if m := c.cfg.Metrics; m != nil {
+		m.ReconnectFailures.Inc()
+	}
+	if c.cfg.Events != nil {
+		c.cfg.Events.Emit(obs.Event{Name: "reconnect_failed", Fields: []obs.Field{
+			{Key: "attempts", Value: c.cfg.RedialAttempts},
+			{Key: "error", Value: fmt.Sprint(lastErr)},
+		}})
 	}
 	return fmt.Errorf("remote: reconnect failed after %d attempts: %w (%w)", c.cfg.RedialAttempts, lastErr, ErrStreamBroken)
 }
