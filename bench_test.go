@@ -328,6 +328,66 @@ func BenchmarkMeasurement(b *testing.B) {
 	}
 }
 
+// BenchmarkCycleSim measures one full cycle-accurate measurement of a
+// random case-study assignment (24 tasks, 200 packets per pipeline) — the
+// hot loop of the event-driven simulator rewrite.
+func BenchmarkCycleSim(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a, err := assign.RandomPermutation(rng, tb.Machine.Topo, tb.TaskCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.MeasureCycle(a, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedSampling draws a duplicate-heavy random sample (one
+// pipeline instance: 3 tasks on 64 contexts, a handful of canonical
+// classes) through the analytic testbed three ways: uncached, through a
+// cold canonical-form cache built per iteration, and through a warm one.
+// The warm case is the steady state of a long campaign, where nearly every
+// draw is a structural duplicate of an earlier one.
+func BenchmarkCachedSampling(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const draws = 500
+	sample := func(b *testing.B, runner core.Runner) {
+		rng := rand.New(rand.NewSource(6))
+		if _, err := core.CollectSample(rng, tb.Machine.Topo, tb.TaskCount(), draws, runner); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sample(b, tb)
+		}
+	})
+	b.Run("cache-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sample(b, core.NewCachedRunner(tb, core.NewCache(0, nil), tb.Identity()))
+		}
+	})
+	b.Run("cache-warm", func(b *testing.B) {
+		cached := core.NewCachedRunner(tb, core.NewCache(0, nil), tb.Identity())
+		sample(b, cached) // populate every class before timing
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sample(b, cached)
+		}
+	})
+}
+
 // BenchmarkIterative runs the full §5.3 algorithm at a 5% target.
 func BenchmarkIterative(b *testing.B) {
 	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)

@@ -10,6 +10,7 @@
 //	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
 //	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
 //	          [-workers 8] [-connect host1:7070,host2:7070]
+//	          [-cache] [-cache-size 4096]
 //	          [-progress] [-metrics-addr :9130]
 //
 // Fault tolerance: -retries/-timeout wrap the measurement source in a
@@ -26,6 +27,13 @@
 // seed, so worker count — and even serial vs parallel — may change freely
 // across a -resume. To open several connections to one server, repeat its
 // address.
+//
+// Memoization: -cache serves structurally duplicate assignments (same
+// canonical form under the hardware symmetries, hence the same resource
+// sharing and the same performance) from memory instead of re-measuring,
+// keeping at most -cache-size classes. Results and journal bytes are
+// identical with the cache on or off; disable it on testbeds whose noise
+// should be sampled independently per measurement.
 //
 // Observability: -progress keeps a live status line on stderr (sample
 // count, best observed, ÛPB and its CI, the convergence gap, retries and
@@ -71,6 +79,7 @@ type progressPrinter struct {
 	workers int
 	resm    *core.ResilientMetrics
 	poolm   *core.PoolMetrics
+	cachem  *core.CacheMetrics
 	last    int // previous line length, for overwrite padding
 }
 
@@ -93,6 +102,11 @@ func (p *progressPrinter) Emit(e obs.Event) {
 	if p.resm != nil {
 		if r := p.resm.Retries.Value(); r > 0 {
 			fmt.Fprintf(&b, " retries=%.0f", r)
+		}
+	}
+	if p.cachem != nil {
+		if h, m := p.cachem.Hits.Value(), p.cachem.Misses.Value(); h+m > 0 {
+			fmt.Fprintf(&b, " cache=%.0f%%", 100*h/(h+m))
 		}
 	}
 	if p.poolm != nil && p.workers > 1 {
@@ -140,6 +154,8 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per measurement before quarantining it (0 disables the resilient wrapper unless -timeout is set)")
 	journalPath := flag.String("journal", "", "write-ahead journal file: every measurement is persisted as it completes")
 	resume := flag.Bool("resume", false, "resume the campaign from the -journal file instead of starting over")
+	cacheOn := flag.Bool("cache", false, "memoize measurements by canonical assignment class: symmetric assignments (identical resource sharing) share one testbed run")
+	cacheSize := flag.Int("cache-size", 4096, "canonical classes kept by -cache before LRU eviction")
 	progress := flag.Bool("progress", false, "keep a live status line on stderr as the campaign converges")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the campaign runs (empty disables)")
 	flag.Parse()
@@ -171,10 +187,11 @@ func main() {
 	}
 
 	var (
-		runner core.ContextRunner
-		topo   t2.Topology
-		tasks  int
-		name   string
+		runner   core.ContextRunner
+		topo     t2.Topology
+		tasks    int
+		name     string
+		identity string // cache identity of the measurement source
 	)
 	switch {
 	case len(addrs) > 1:
@@ -188,6 +205,7 @@ func main() {
 		}
 		defer pool.Close()
 		runner, topo, tasks, name = pool, pool.Topology(), pool.Tasks(), pool.Hello().Name
+		identity = fmt.Sprintf("remote|%s|%d|s%d", name, tasks, *seed)
 		fmt.Printf("remote testbed pool: %d servers, %d tasks on %s\n", pool.Size(), tasks, topo)
 	case len(addrs) == 1:
 		addr := addrs[0]
@@ -201,6 +219,7 @@ func main() {
 		}
 		defer client.Close()
 		runner, topo, tasks, name = client, client.Topology(), client.Tasks(), client.Hello().Name
+		identity = fmt.Sprintf("remote|%s|%d|s%d", name, tasks, *seed)
 		fmt.Printf("remote testbed %q at %s: %d tasks on %s\n", name, addrs[0], tasks, topo)
 	default:
 		app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
@@ -212,6 +231,7 @@ func main() {
 			log.Fatal(err)
 		}
 		runner, topo, tasks, name = core.AsContextRunner(tb), tb.Machine.Topo, tb.TaskCount(), app.Name()
+		identity = tb.Identity()
 		fmt.Printf("benchmark %s: %d instances (%d tasks) on %s\n", name, *instances, tasks, topo)
 	}
 
@@ -261,6 +281,21 @@ func main() {
 			prog.resm = rcfg.Metrics
 		}
 		runner = core.NewResilientRunner(core.AsRunner(runner), rcfg)
+	}
+
+	// Measurement cache: the paper's symmetry argument (performance depends
+	// only on which tasks share a pipe/core/chip) makes structurally
+	// equivalent assignments interchangeable, so duplicates in the random
+	// sample are served from memory instead of re-running the testbed. The
+	// cache sits inside journaling — every draw, hit or miss, is still
+	// journaled — and single-flight keeps concurrent workers from measuring
+	// one class twice, so journal bytes are identical with -cache on or off.
+	if *cacheOn {
+		cm := core.NewCacheMetrics(reg)
+		runner = core.NewCachedContextRunner(runner, core.NewCache(*cacheSize, cm), identity)
+		if prog != nil {
+			prog.cachem = cm
+		}
 	}
 
 	// Write-ahead journal: every completed measurement hits disk before

@@ -1,0 +1,103 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"optassign/internal/t2"
+)
+
+// canonicalTopos are the topologies the byte-compatibility property runs
+// over: the case-study T2, a degenerate single-core machine, a deep
+// single-slot machine and a wide shallow one.
+var canonicalTopos = []t2.Topology{
+	{Cores: 8, PipesPerCore: 2, ContextsPerPipe: 4},
+	{Cores: 1, PipesPerCore: 1, ContextsPerPipe: 8},
+	{Cores: 4, PipesPerCore: 3, ContextsPerPipe: 1},
+	{Cores: 2, PipesPerCore: 2, ContextsPerPipe: 2},
+	{Cores: 16, PipesPerCore: 1, ContextsPerPipe: 2},
+}
+
+// TestCanonicalKeyMatchesReference pins the rewritten CanonicalKey to the
+// original construction byte for byte: the testbed's deterministic
+// measurement noise and the memoization cache both key on this string, so
+// the encoding may never drift.
+func TestCanonicalKeyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, topo := range canonicalTopos {
+		v := topo.Contexts()
+		for trial := 0; trial < 200; trial++ {
+			tasks := 1 + rng.Intn(v)
+			a, err := RandomPermutation(rng, topo, tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, ref := a.CanonicalKey(), a.canonicalKeyRef()
+			if fast != ref {
+				t.Fatalf("topo %v tasks %v: CanonicalKey %q != reference %q", topo, a.Ctx, fast, ref)
+			}
+		}
+	}
+	// Full machine and single task, explicitly.
+	topo := t2.UltraSPARCT2()
+	full, err := RandomPermutation(rng, topo, topo.Contexts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CanonicalKey() != full.canonicalKeyRef() {
+		t.Error("full-machine key differs from reference")
+	}
+	one := Assignment{Topo: topo, Ctx: []int{13}}
+	if one.CanonicalKey() != one.canonicalKeyRef() {
+		t.Error("single-task key differs from reference")
+	}
+}
+
+// TestCanonicalKeyDoesNotMutate verifies the CSR rewrite never reorders
+// the caller's Ctx slice (the reference sorted freshly allocated copies;
+// the rewrite must be equally side-effect free).
+func TestCanonicalKeyDoesNotMutate(t *testing.T) {
+	topo := t2.UltraSPARCT2()
+	a := Assignment{Topo: topo, Ctx: []int{9, 1, 8, 0, 33}}
+	want := append([]int(nil), a.Ctx...)
+	a.CanonicalKey()
+	for i, c := range a.Ctx {
+		if c != want[i] {
+			t.Fatalf("Ctx mutated: %v, want %v", a.Ctx, want)
+		}
+	}
+}
+
+// BenchmarkCanonicalKey compares the preallocated-buffer encoder against
+// the original map/sort/fmt construction on the case-study workload size
+// (24 tasks) and on a full 64-task machine.
+func BenchmarkCanonicalKey(b *testing.B) {
+	topo := t2.UltraSPARCT2()
+	for _, tasks := range []int{24, 64} {
+		rng := rand.New(rand.NewSource(11))
+		a, err := RandomPermutation(rng, topo, tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchLabel("fast", tasks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if a.CanonicalKey() == "" {
+					b.Fatal("empty key")
+				}
+			}
+		})
+		b.Run(benchLabel("reference", tasks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if a.canonicalKeyRef() == "" {
+					b.Fatal("empty key")
+				}
+			}
+		})
+	}
+}
+
+func benchLabel(kind string, tasks int) string {
+	return kind + "-" + string(rune('0'+tasks/10)) + string(rune('0'+tasks%10)) + "tasks"
+}

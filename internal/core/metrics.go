@@ -137,6 +137,78 @@ func (m *PoolMetrics) busy(i int) *obs.Counter {
 	return m.BusySeconds[i]
 }
 
+// CacheMetrics observes a measurement Cache: how many draws were served
+// from memoized classes (hits), how many reached the real testbed
+// (misses), how many joined an in-flight measurement instead of starting
+// their own (coalesced), plus the entry count, evictions and in-flight
+// leaders.
+type CacheMetrics struct {
+	Hits      *obs.Counter
+	Misses    *obs.Counter
+	Coalesced *obs.Counter
+	Evictions *obs.Counter
+	Size      *obs.Gauge
+	Inflight  *obs.Gauge
+}
+
+// NewCacheMetrics registers the measurement-cache series on r; a nil
+// registry yields a nil (disabled) bundle.
+func NewCacheMetrics(r *obs.Registry) *CacheMetrics {
+	if r == nil {
+		return nil
+	}
+	return &CacheMetrics{
+		Hits:      r.Counter("optassign_cache_hits_total", "Measurements served from the canonical-form cache."),
+		Misses:    r.Counter("optassign_cache_misses_total", "Measurements that reached the wrapped runner."),
+		Coalesced: r.Counter("optassign_cache_coalesced_total", "Callers that joined an in-flight measurement of the same class."),
+		Evictions: r.Counter("optassign_cache_evictions_total", "Entries evicted by the LRU bound."),
+		Size:      r.Gauge("optassign_cache_entries", "Canonical classes currently memoized."),
+		Inflight:  r.Gauge("optassign_cache_inflight", "Cache-led measurements currently running."),
+	}
+}
+
+func (m *CacheMetrics) hits() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Hits
+}
+
+func (m *CacheMetrics) misses() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Misses
+}
+
+func (m *CacheMetrics) coalesced() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Coalesced
+}
+
+func (m *CacheMetrics) evictions() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Evictions
+}
+
+func (m *CacheMetrics) size() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.Size
+}
+
+func (m *CacheMetrics) inflight() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.Inflight
+}
+
 // IterMetrics publishes the live state of the §5.3 iterative algorithm:
 // the per-round estimate (ÛPB and its confidence interval), the best
 // observed performance, and the convergence gap the loop thresholds on.

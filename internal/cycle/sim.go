@@ -13,6 +13,12 @@
 // behaviour agrees qualitatively with the analytic model — same winners,
 // same bottlenecks — which grounds the calibrated curves used by the mass
 // experiments.
+//
+// Run is event-driven: parked strands live in a wake-time min-heap instead
+// of being polled every cycle, pipes with no awake strand are skipped, and
+// globally idle stretches are jumped over in one step. reference.go keeps
+// the original cycle-by-cycle polling loop as the executable specification;
+// the differential tests prove both produce identical Results.
 package cycle
 
 import (
@@ -40,7 +46,8 @@ type op struct {
 }
 
 // packetProgram is the per-packet op sequence of one task, derived from its
-// demand vector. The same packet program repeats for every packet.
+// demand vector. The same packet program repeats for every packet; strands
+// with identical demand share one read-only program.
 type packetProgram struct {
 	ops []op
 }
@@ -56,6 +63,9 @@ const missChunk = 40
 //	LSU cycles       → that many LSU ops
 //	cache/mem cycles → miss ops totalling that latency
 //	Serial cycles    → serial ops totalling that latency
+//
+// The op count is known up front, so the stream is built in one exactly
+// sized allocation (the serial op is spliced in place within capacity).
 func buildProgram(d proc.Demand) packetProgram {
 	issue := int(math.Round(d.Res[proc.IFU] + d.Res[proc.IEU]))
 	lsu := int(math.Round(d.Res[proc.LSU]))
@@ -63,7 +73,6 @@ func buildProgram(d proc.Demand) packetProgram {
 		d.Res[proc.L2] + d.Res[proc.MEM] + d.Res[proc.XBAR] + d.Res[proc.FPU] + d.Res[proc.CRY]))
 	serial := int(math.Round(d.Serial))
 
-	var ops []op
 	// Interleave the op classes so the stream is representative: compute
 	// the total "tokens" and emit round-robin proportionally.
 	misses := 0
@@ -72,9 +81,13 @@ func buildProgram(d proc.Demand) packetProgram {
 	}
 	total := issue + lsu + misses
 	if total == 0 && serial == 0 {
-		ops = append(ops, op{class: opIssue})
-		return packetProgram{ops: ops}
+		return packetProgram{ops: []op{{class: opIssue}}}
 	}
+	size := total
+	if serial > 0 {
+		size++
+	}
+	ops := make([]op, 0, size)
 	remIssue, remLSU, remMissLat := issue, lsu, missTotal
 	for remIssue > 0 || remLSU > 0 || remMissLat > 0 {
 		if remIssue > 0 {
@@ -108,9 +121,11 @@ func buildProgram(d proc.Demand) packetProgram {
 	}
 	if serial > 0 {
 		// One private long-latency region per packet (e.g. the intmul
-		// multiplier), placed mid-stream.
+		// multiplier), placed mid-stream. Splice within capacity.
 		mid := len(ops) / 2
-		ops = append(ops[:mid:mid], append([]op{{class: opSerial, latency: int32(serial)}}, ops[mid:]...)...)
+		ops = append(ops, op{})
+		copy(ops[mid+1:], ops[mid:len(ops)-1])
+		ops[mid] = op{class: opSerial, latency: int32(serial)}
 	}
 	return packetProgram{ops: ops}
 }
@@ -122,18 +137,18 @@ func max(a, b int) int {
 	return b
 }
 
-// strand is one hardware context with a bound task.
+// strand is one hardware context with a bound task. Strands are stored by
+// value in one flat slice — the hot loop walks them without pointer
+// chasing.
 type strand struct {
-	task      int
-	pipe      int
-	core      int
-	program   packetProgram
-	pc        int   // index into program.ops for the current packet
-	wakeCycle int64 // strand parked until this cycle
+	pipe, core int32
 	// Pipeline-stage coupling.
-	group, stage int
+	group, stage int32
+	pc           int32 // index into program.ops for the current packet
 	commLatency  int32 // added park when taking a packet from the queue
+	wakeCycle    int64 // strand parked until this cycle
 	packets      int64 // packets completed
+	program      packetProgram
 }
 
 // Config tunes the simulation.
@@ -165,10 +180,15 @@ type Result struct {
 type Sim struct {
 	machine *proc.Machine
 	cfg     Config
-	strands []*strand
-	byPipe  [][]*strand
+	strands []strand
+	byPipe  [][]int32 // strand indices per global pipe
+	occ     []int32   // pipes with at least one strand, ascending
 	rrIndex []int
 	groups  int
+	// txByGroup indexes each group's stage-2 (T) strand, -1 for a group
+	// with no tasks. Completion tracking and the PPS rollup both use it
+	// instead of rescanning every strand.
+	txByGroup []int32
 	// queue occupancy per (group, boundary): boundary 0 = R→P, 1 = P→T.
 	queues [][2]int
 }
@@ -191,6 +211,7 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 	seen := make(map[int]bool)
 	groups := 0
 	stageOf := make(map[int]int)
+	progs := make(map[proc.Demand]packetProgram) // tasks sharing a demand share a program
 	s := &Sim{machine: machine, cfg: cfg.withDefaults()}
 	for i, task := range tasks {
 		ctx := placement[i]
@@ -201,16 +222,19 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 		if task.Group >= groups {
 			groups = task.Group + 1
 		}
-		st := &strand{
-			task:    i,
-			pipe:    topo.PipeOf(ctx),
-			core:    topo.CoreOf(ctx),
-			program: buildProgram(task.Demand),
-			group:   task.Group,
-			stage:   stageOf[task.Group],
+		prog, ok := progs[task.Demand]
+		if !ok {
+			prog = buildProgram(task.Demand)
+			progs[task.Demand] = prog
 		}
+		s.strands = append(s.strands, strand{
+			pipe:    int32(topo.PipeOf(ctx)),
+			core:    int32(topo.CoreOf(ctx)),
+			program: prog,
+			group:   int32(task.Group),
+			stage:   int32(stageOf[task.Group]),
+		})
 		stageOf[task.Group]++
-		s.strands = append(s.strands, st)
 	}
 	for g, n := range stageOf {
 		if n != 3 {
@@ -219,6 +243,15 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 	}
 	s.groups = groups
 	s.queues = make([][2]int, groups)
+	s.txByGroup = make([]int32, groups)
+	for g := range s.txByGroup {
+		s.txByGroup[g] = -1
+	}
+	for i := range s.strands {
+		if st := &s.strands[i]; st.stage == 2 {
+			s.txByGroup[st.group] = int32(i)
+		}
+	}
 
 	// Communication latency per consuming strand (P pays for R→P, T for
 	// P→T), by placement distance.
@@ -235,16 +268,87 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 		s.strands[l.B].commLatency += int32(lat)
 	}
 
-	s.byPipe = make([][]*strand, topo.Pipes())
-	for _, st := range s.strands {
-		s.byPipe[st.pipe] = append(s.byPipe[st.pipe], st)
+	s.byPipe = make([][]int32, topo.Pipes())
+	for i := range s.strands {
+		p := s.strands[i].pipe
+		s.byPipe[p] = append(s.byPipe[p], int32(i))
+	}
+	for p := range s.byPipe {
+		if len(s.byPipe[p]) > 0 {
+			s.occ = append(s.occ, int32(p))
+		}
 	}
 	s.rrIndex = make([]int, topo.Pipes())
 	return s, nil
 }
 
+// wakeEvent is one parked strand in the wake-time min-heap.
+type wakeEvent struct {
+	cycle int64
+	idx   int32
+}
+
+// shortParkLimit splits parks into two regimes. A strand parked for more
+// than this many cycles (serial regions, accumulated communication
+// latency) leaves the per-cycle scan entirely: its pipe's awake count
+// drops and the wake-time min-heap re-admits it at the right cycle, so a
+// long park costs O(log strands) total instead of one poll per cycle. A
+// short park (a miss chunk, a queue handoff) stays in the scan and costs
+// one comparison per cycle, which is cheaper than heap churn at this
+// length. The idle-jump does not depend on the split: when no strand
+// issues machine-wide, the next wake is found by scanning all strands, so
+// frozen stretches are skipped in one step either way.
+const shortParkLimit = 64
+
+// wakePush adds an event to the min-heap.
+func wakePush(h *[]wakeEvent, e wakeEvent) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent].cycle <= s[i].cycle {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// wakePop removes the earliest event. The caller checks len > 0.
+func wakePop(h *[]wakeEvent) wakeEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l].cycle < s[small].cycle {
+			small = l
+		}
+		if r < n && s[r].cycle < s[small].cycle {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[small], s[i] = s[i], s[small]
+		i = small
+	}
+	*h = s
+	return top
+}
+
 // Run simulates until every pipeline instance has transmitted `packets`
 // packets and returns throughput measured in simulated time.
+//
+// The loop is event-driven but cycle-for-cycle identical to runReference
+// (the original polling loop, kept in reference.go): parked strands sit in
+// a wake-time min-heap and per-pipe awake counts let idle pipes be
+// skipped; a cycle in which no strand issues anywhere freezes queues,
+// programs and round-robin cursors, so the clock jumps straight to the
+// next wake event instead of replaying no-op cycles one by one.
 func (s *Sim) Run(packets int) (Result, error) {
 	if packets < 1 {
 		return Result{}, fmt.Errorf("cycle: need at least one packet")
@@ -259,29 +363,53 @@ func (s *Sim) Run(packets int) (Result, error) {
 	lsuTaken := make([]int64, topo.Cores) // cycle number when last used
 	var cycle int64
 
-	done := func() bool {
-		for _, st := range s.strands {
-			if st.stage == 2 && st.packets < target {
-				return false
-			}
+	// O(1) completion tracking: remaining counts groups whose T strand has
+	// not yet transmitted `target` packets (the old loop rescanned every
+	// strand per cycle).
+	remaining := 0
+	for _, ti := range s.txByGroup {
+		if ti >= 0 && s.strands[ti].packets < target {
+			remaining++
 		}
-		return true
 	}
 
-	for !done() {
+	heap := make([]wakeEvent, 0, len(s.strands))
+	awake := make([]int32, topo.Pipes()) // strands not long-parked, per pipe
+	for i := range s.strands {
+		st := &s.strands[i]
+		if st.wakeCycle-cycle > shortParkLimit {
+			wakePush(&heap, wakeEvent{st.wakeCycle, int32(i)})
+		} else {
+			awake[st.pipe]++
+		}
+	}
+
+	for remaining > 0 {
 		cycle++
 		if s.cfg.MaxCycles > 0 && cycle > s.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("cycle: exceeded %d cycles", s.cfg.MaxCycles)
 		}
-		for pipe := range s.byPipe {
-			strands := s.byPipe[pipe]
-			if len(strands) == 0 {
-				continue
+		for len(heap) > 0 && heap[0].cycle <= cycle {
+			e := wakePop(&heap)
+			awake[s.strands[e.idx].pipe]++
+		}
+		anyIssued := false
+		for _, pipe := range s.occ {
+			if awake[pipe] == 0 {
+				continue // every strand of this pipe is parked
 			}
+			idxs := s.byPipe[pipe]
 			// Round-robin: try each strand starting after the last issuer.
 			issued := false
-			for k := 0; k < len(strands) && !issued; k++ {
-				st := strands[(s.rrIndex[pipe]+k)%len(strands)]
+			blocked := 0
+			n := len(idxs)
+			for k := 0; k < n && !issued; k++ {
+				j := s.rrIndex[pipe] + k
+				if j >= n {
+					j -= n
+				}
+				si := idxs[j]
+				st := &s.strands[si]
 				if st.wakeCycle > cycle {
 					continue // parked
 				}
@@ -294,7 +422,8 @@ func (s *Sim) Run(packets int) (Result, error) {
 					st.pc++
 				case opLSU:
 					if lsuTaken[st.core] == cycle {
-						continue // port busy this cycle; try the next strand
+						blocked++ // port busy this cycle; try the next strand
+						continue
 					}
 					lsuTaken[st.core] = cycle
 					res.LSUBusy[st.core]++
@@ -305,31 +434,64 @@ func (s *Sim) Run(packets int) (Result, error) {
 				}
 				issued = true
 				res.IssueBusy[pipe]++
-				s.rrIndex[pipe] = (s.rrIndex[pipe] + k + 1) % len(strands)
-				if st.pc >= len(st.program.ops) {
-					s.completePacket(st, cycle)
+				if j++; j >= n {
+					j = 0
 				}
-			}
-			if !issued {
-				// Count strands that wanted the LSU but lost arbitration.
-				for _, st := range strands {
-					if st.wakeCycle <= cycle && s.canWork(st, target) &&
-						st.program.ops[st.pc].class == opLSU && lsuTaken[st.core] == cycle {
-						res.LSUBlocked++
+				s.rrIndex[pipe] = j
+				if int(st.pc) >= len(st.program.ops) {
+					if s.completePacket(st, cycle) && st.packets == target {
+						remaining--
 					}
 				}
+				if st.wakeCycle-cycle > shortParkLimit {
+					// Long park (serial region, accumulated communication
+					// latency): the strand leaves the per-cycle scan and the
+					// heap re-admits it at its wake cycle. Short parks stay
+					// in the scan — see shortParkLimit.
+					awake[pipe]--
+					wakePush(&heap, wakeEvent{st.wakeCycle, si})
+				}
+			}
+			if issued {
+				anyIssued = true
+			} else {
+				// Strands that wanted the LSU but lost arbitration. When no
+				// strand issues the scan above visited every strand exactly
+				// once, so it already counted them — the reference loop's
+				// second pass re-evaluated the same predicates verbatim.
+				res.LSUBlocked += int64(blocked)
+			}
+		}
+		if !anyIssued {
+			// Globally idle: no issue means no queue, program or cursor
+			// change, so every cycle until the earliest wake replays this
+			// one. Short-parked strands are not in the heap, so find that
+			// wake by scanning every strand — once per idle stretch, not per
+			// cycle — and jump the clock there in a single step.
+			next := int64(math.MaxInt64)
+			for i := range s.strands {
+				if w := s.strands[i].wakeCycle; w > cycle && w < next {
+					next = w
+				}
+			}
+			if next != math.MaxInt64 && next > cycle+1 {
+				if s.cfg.MaxCycles > 0 && next > s.cfg.MaxCycles+1 {
+					// The polling loop would idle up to MaxCycles+1 and
+					// abort before any strand wakes.
+					return Result{}, fmt.Errorf("cycle: exceeded %d cycles", s.cfg.MaxCycles)
+				}
+				cycle = next - 1
 			}
 		}
 	}
 
 	res.Cycles = cycle
 	seconds := float64(cycle) / s.machine.ClockHz
-	for g := 0; g < s.groups; g++ {
-		for _, st := range s.strands {
-			if st.group == g && st.stage == 2 {
-				res.GroupPPS[g] = float64(st.packets) / seconds
-			}
+	for g, ti := range s.txByGroup {
+		if ti < 0 {
+			continue // group without tasks: GroupPPS stays 0
 		}
+		res.GroupPPS[g] = float64(s.strands[ti].packets) / seconds
 		res.TotalPPS += res.GroupPPS[g]
 	}
 	return res, nil
@@ -356,8 +518,9 @@ func (s *Sim) canWork(st *strand, target int64) bool {
 
 // completePacket finishes the strand's current packet: move a token across
 // the queues and start the next packet (with communication latency for
-// consumers).
-func (s *Sim) completePacket(st *strand, cycle int64) {
+// consumers). It reports whether the strand is a transmitter (stage 2),
+// so Run can maintain its completion counter.
+func (s *Sim) completePacket(st *strand, cycle int64) bool {
 	q := &s.queues[st.group]
 	switch st.stage {
 	case 0:
@@ -373,4 +536,5 @@ func (s *Sim) completePacket(st *strand, cycle int64) {
 	if st.stage > 0 && st.commLatency > 0 {
 		st.wakeCycle = cycle + int64(st.commLatency)
 	}
+	return st.stage == 2
 }

@@ -122,6 +122,19 @@ func (tb *Testbed) checkAssignment(a assign.Assignment) error {
 	return a.Validate()
 }
 
+// Identity names everything that determines this testbed's measured
+// values: the benchmark, instance count, noise seed and level, and the
+// traffic profile. It is the identity string for core.NewCachedRunner, so
+// a shared measurement cache can never serve one testbed's performance for
+// another's. (The machine topology is appended to cache keys by the cache
+// itself.)
+func (tb *Testbed) Identity() string {
+	return fmt.Sprintf("netdps|%s|i%d|s%d|n%g|pf%d,%g,%d-%d,%g,%g",
+		tb.App.Name(), tb.Instances, tb.Seed, tb.Noise,
+		tb.Profile.Flows, tb.Profile.ZipfS, tb.Profile.PayloadMin, tb.Profile.PayloadMax,
+		tb.Profile.TCPFraction, tb.Profile.KeywordRate)
+}
+
 // MeasureAnalytic returns the measured PPS of the assignment using the
 // steady-state solver, with deterministic per-assignment-class measurement
 // noise. Symmetric assignments measure identically, as they would on real
