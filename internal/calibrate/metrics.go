@@ -1,0 +1,29 @@
+package calibrate
+
+import "optassign/internal/obs"
+
+// Metrics publishes live calibration progress: replication throughput and
+// the running coverage tally. Like every obs bundle it is strictly
+// observational — results are identical with metrics on or off — and
+// nil-safe, so a nil *Metrics disables publication without branching at
+// call sites.
+type Metrics struct {
+	Replications *obs.Counter
+	Covered      *obs.Counter
+	Rejected     *obs.Counter
+	Coverage     *obs.Gauge
+}
+
+// NewMetrics registers the calibration series on r; a nil registry yields
+// a nil bundle.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Replications: r.Counter("optassign_calibrate_replications_total", "Calibration replications completed."),
+		Covered:      r.Counter("optassign_calibrate_covered_total", "Replications whose CI contained the true optimum."),
+		Rejected:     r.Counter("optassign_calibrate_rejected_total", "Replications rejected by the analysis pipeline."),
+		Coverage:     r.Gauge("optassign_calibrate_coverage", "Final empirical coverage of the last completed scenario."),
+	}
+}

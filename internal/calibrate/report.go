@@ -1,0 +1,39 @@
+package calibrate
+
+import (
+	"fmt"
+	"io"
+)
+
+// PrintResult renders one coverage result as the aligned text block
+// cmd/calibrate prints.
+func PrintResult(w io.Writer, r Result) {
+	fmt.Fprintf(w, "scenario      %s\n", r.Scenario)
+	fmt.Fprintf(w, "true optimum  %.6g\n", r.TrueOptimum)
+	fmt.Fprintf(w, "replications  %d (analyzed %d, n=%d per replication)\n", r.Replications, r.Analyzed, r.N)
+	fmt.Fprintf(w, "coverage      %.4f  (nominal %.2f, SE %.4f, %d/%d covered)\n",
+		r.Coverage, r.Nominal, r.CoverageSE, r.Covered, r.Analyzed)
+	fmt.Fprintf(w, "UPB bias      %+.3f%% mean, %.3f%% mean absolute\n", r.MeanBiasPct, r.MeanAbsErrPct)
+	fmt.Fprintf(w, "CI width      %.3f%% of optimum (mean over %d finite), %d unbounded above\n",
+		r.MeanWidthPct, r.Analyzed-r.UnboundedHi, r.UnboundedHi)
+	for cause, n := range r.Rejections {
+		fmt.Fprintf(w, "rejected      %d × %s\n", n, cause)
+	}
+	for _, e := range r.Estimators {
+		fmt.Fprintf(w, "vs %-10s accepted %d, rejected %d, |Δξ̂| %.4f, |ΔUPB| %.3f%%\n",
+			e.Method, e.Accepted, e.Rejected, e.MeanAbsXiDiff, e.MeanAbsUPBDiffPct)
+	}
+}
+
+// PrintIterResult renders an iterative-loop calibration result.
+func PrintIterResult(w io.Writer, r IterResult) {
+	fmt.Fprintf(w, "scenario      %s\n", r.Scenario)
+	fmt.Fprintf(w, "true optimum  %.6g\n", r.TrueOptimum)
+	fmt.Fprintf(w, "replications  %d campaigns, promised loss <= %.1f%%\n", r.Replications, r.AcceptLossPct)
+	fmt.Fprintf(w, "outcomes      %d satisfied, %d budget-exhausted, %d failed\n", r.Satisfied, r.Exhausted, r.Failed)
+	fmt.Fprintf(w, "violations    %d/%d satisfied campaigns broke the promise (rate %.4f)\n",
+		r.Violations, r.Satisfied, r.ViolationRate)
+	fmt.Fprintf(w, "realized loss %.3f%% mean, %.3f%% worst (satisfied campaigns)\n",
+		r.MeanRealizedLossPct, r.MaxRealizedLossPct)
+	fmt.Fprintf(w, "cost          %.0f samples per campaign (mean)\n", r.MeanSamples)
+}

@@ -41,7 +41,10 @@ type IterConfig struct {
 	// campaign had already consumed — measured plus quarantined. The RNG
 	// is fast-forwarded by this many draws so that, given the same Seed,
 	// a resumed campaign continues the exact assignment sequence the
-	// interrupted one was executing. 0 defaults to len(Resume).
+	// interrupted one was executing, and the ResumeDraws-len(Resume)
+	// quarantined prefix draws keep counting toward Ninit and MaxSamples,
+	// so the resumed draw schedule matches the uninterrupted one exactly.
+	// 0 defaults to len(Resume).
 	ResumeDraws int
 	// Events receives one "round" event per estimation round (§5.3
 	// Fig. 13 iteration): sample sizes, the best observed performance,
@@ -153,7 +156,18 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 
 	results := append([]SampleResult(nil), cfg.Resume...)
 	var res IterResult
+	// priorQuarantined is the count of resumed-prefix draws that were
+	// quarantined rather than measured (ResumeDraws minus the recovered
+	// results). They are gone — the journal keeps only their failure
+	// records — but they consumed draws, so they must keep counting
+	// toward Ninit and MaxSamples exactly as they did before the
+	// interruption; otherwise a resumed campaign draws extra assignments
+	// and diverges from the uninterrupted sequence.
+	priorQuarantined := 0
 	if draws := cfg.resumeDraws(); draws > 0 {
+		if q := draws - len(cfg.Resume); q > 0 {
+			priorQuarantined = q
+		}
 		// Fast-forward the RNG past the draws the interrupted campaign
 		// already consumed: with the same Seed, the resumed campaign
 		// continues the identical assignment sequence.
@@ -172,7 +186,7 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 		lastAdded = add
 		return err
 	}
-	if need := cfg.Ninit - len(results); need > 0 {
+	if need := cfg.Ninit - len(results) - priorQuarantined; need > 0 {
 		if err := collect(need); err != nil {
 			res.Samples = len(results)
 			if len(results) > 0 {
@@ -251,7 +265,7 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 		}
 		// Quarantined draws count against the budget too: at a 100%
 		// failure rate the loop must still terminate.
-		drawn := len(results) + len(res.Quarantined)
+		drawn := len(results) + len(res.Quarantined) + priorQuarantined
 		if drawn >= cfg.MaxSamples {
 			return res, ErrBudgetExhausted
 		}

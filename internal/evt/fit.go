@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"optassign/internal/optimize"
 	"optassign/internal/stats"
@@ -25,6 +26,47 @@ type Fit struct {
 // flag fits outside that region.
 const xiFloor = -0.999
 
+// ErrDegenerateTail reports an exceedance set with fewer than 3 distinct
+// values — all ties, or nearly so. No two-parameter tail model is
+// identifiable from such data (the likelihood degenerates toward a point
+// mass), so every estimator rejects it up front instead of producing
+// NaN/±Inf parameters. It wraps ErrSampleTooSmall: callers that already
+// treat "not enough tail data" as a keep-sampling signal handle this case
+// for free.
+var ErrDegenerateTail = fmt.Errorf("%w: degenerate exceedances (fewer than 3 distinct values)", ErrSampleTooSmall)
+
+// ErrMomentsUndefined reports a method-of-moments estimate pressed against
+// the ξ = 1/2 validity wall. The estimator's formula ξ̂ = (1 − m²/v)/2 can
+// never emit ξ̂ >= 1/2, but its *asymptotic variance* requires the sampled
+// tail to have ξ < 1/2 (finite population variance): samples whose implied
+// shape sits against the wall (v >> m², i.e. ξ̂ within 0.05 of 1/2) are the
+// fingerprint of exactly that infinite-variance regime, where the estimate
+// is noise. Rejecting with a typed error replaces the old silent clamp
+// that handed callers a garbage fit.
+var ErrMomentsUndefined = errors.New("evt: moment estimator undefined: implied shape is in the ξ >= 1/2 infinite-variance regime")
+
+// momentShapeWall is the rejection bound for FitGPDMoments: implied shapes
+// at or above it (equivalently v >= 10·m²) are treated as the ξ >= 1/2
+// regime the moment estimator cannot see.
+const momentShapeWall = 0.45
+
+// distinctValues counts the distinct values of ys (exactly, not within a
+// tolerance — ties from quantized measurements are exactly equal floats).
+func distinctValues(ys []float64) int {
+	if len(ys) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), ys...)
+	sort.Float64s(sorted)
+	distinct := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	return distinct
+}
+
 // MomentsEstimate returns the method-of-moments GPD estimate from
 // exceedances ys, using
 //
@@ -39,8 +81,11 @@ func MomentsEstimate(ys []float64) (GPD, error) {
 	}
 	m := stats.Mean(ys)
 	v := stats.Variance(ys)
-	if !(m > 0) || !(v > 0) {
-		return GPD{}, errors.New("evt: exceedances must be positive with positive spread")
+	if !(m > 0) {
+		return GPD{}, errors.New("evt: exceedances must be positive")
+	}
+	if !(v > 0) {
+		return GPD{}, ErrDegenerateTail
 	}
 	xi := (1 - m*m/v) / 2
 	if xi < xiFloor {
@@ -75,6 +120,9 @@ func FitGPD(ys []float64) (Fit, error) {
 	if len(ys) < 5 {
 		return Fit{}, fmt.Errorf("%w: need at least 5 exceedances, have %d", ErrSampleTooSmall, len(ys))
 	}
+	if distinctValues(ys) < 3 {
+		return Fit{}, ErrDegenerateTail
+	}
 	start, err := MomentsEstimate(ys)
 	if err != nil {
 		return Fit{}, err
@@ -104,8 +152,26 @@ func FitGPD(ys []float64) (Fit, error) {
 }
 
 // FitGPDMoments packages the method-of-moments estimate in the same Fit
-// shape as FitGPD, for the estimator ablation.
+// shape as FitGPD, for the estimator ablation and for production use as a
+// cheap first-pass estimator. Unlike MomentsEstimate — which stays
+// permissive because it only seeds the likelihood search — FitGPDMoments
+// enforces the estimator's own validity region: an implied shape at the
+// ξ >= 1/2 wall returns ErrMomentsUndefined instead of a clamped garbage
+// fit, and a degenerate exceedance set returns ErrDegenerateTail.
 func FitGPDMoments(ys []float64) (Fit, error) {
+	if len(ys) < 2 {
+		return Fit{}, ErrSampleTooSmall
+	}
+	if distinctValues(ys) < 3 {
+		return Fit{}, ErrDegenerateTail
+	}
+	m := stats.Mean(ys)
+	v := stats.Variance(ys)
+	if m > 0 && v > 0 {
+		if implied := (1 - m*m/v) / 2; implied >= momentShapeWall {
+			return Fit{}, fmt.Errorf("%w (implied ξ̂ = %.4g)", ErrMomentsUndefined, implied)
+		}
+	}
 	g, err := MomentsEstimate(ys)
 	if err != nil {
 		return Fit{}, err

@@ -23,6 +23,9 @@ func FitGPDPWM(ys []float64) (Fit, error) {
 	if n < 5 {
 		return Fit{}, ErrSampleTooSmall
 	}
+	if distinctValues(ys) < 3 {
+		return Fit{}, ErrDegenerateTail
+	}
 	sorted := append([]float64(nil), ys...)
 	sort.Float64s(sorted)
 	if sorted[0] < 0 {

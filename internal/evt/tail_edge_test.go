@@ -1,0 +1,316 @@
+package evt
+
+// Regression tests for the tail edge cases flushed out by the calibration
+// harness (internal/calibrate): threshold selection on ties-heavy samples,
+// the moment estimator's ξ >= 1/2 validity wall, the ξ → 0⁻ profile
+// boundary, and degenerate (all-equal) exceedance sets. Each test fails on
+// the pre-fix code.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"optassign/internal/stats"
+)
+
+// tiesSample builds n observations whose upper tail is dominated by a run of
+// `run` copies of the value `tied`, topped by `above` strictly larger
+// distinct values. With n=1000, run=60, above=5 every candidate order
+// statistic in the default scan grid (indices 949..979) lands inside the tie
+// run, so the strict-exceedance count at every candidate threshold is 5 —
+// the configuration that starved the pre-fix SelectThreshold into total
+// failure even though a valid threshold exists just below the run.
+func tiesSample(n, run, above int, tied float64) []float64 {
+	xs := make([]float64, 0, n)
+	body := n - run - above
+	for i := 0; i < body; i++ {
+		// Distinct, strictly below the tie run.
+		xs = append(xs, tied*float64(i)/float64(body+1))
+	}
+	for i := 0; i < run; i++ {
+		xs = append(xs, tied)
+	}
+	for i := 0; i < above; i++ {
+		xs = append(xs, tied*(1.01+0.01*float64(i)))
+	}
+	// Shuffle deterministically: SelectThreshold must not depend on order.
+	rng := rand.New(rand.NewSource(8))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return xs
+}
+
+func TestSelectThresholdTieRunDoesNotStarve(t *testing.T) {
+	xs := tiesSample(1000, 60, 5, 100)
+	for _, rule := range []ThresholdRule{RuleMaxFraction, RuleAuto, RuleLinearityScan} {
+		thr, err := SelectThreshold(xs, ThresholdOptions{Rule: rule})
+		if err != nil {
+			t.Fatalf("rule %v: %v", rule, err)
+		}
+		// The threshold must sit strictly below the tie run so the run joins
+		// the tail atomically instead of vanishing from it.
+		if thr.U >= 100 {
+			t.Errorf("rule %v: threshold %v did not snap below the tie run at 100", rule, thr.U)
+		}
+		if len(thr.Exceedances) < 20 {
+			t.Errorf("rule %v: only %d exceedances", rule, len(thr.Exceedances))
+		}
+	}
+}
+
+func TestSelectThresholdStrictAgreesWithECDF(t *testing.T) {
+	// The exceedance extraction and ECDF tail counting must agree on strict
+	// `>` at the threshold: exactly n·(1 − F̂(u)) observations become
+	// exceedances, with none equal to u. Quantized samples make every
+	// off-by-one or >= slip visible.
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 1500)
+	for i := range xs {
+		// Round to one decimal: heavy ties throughout the sample.
+		xs[i] = math.Round(rng.Float64()*1000) / 10
+	}
+	ecdf := stats.NewECDF(xs)
+	for _, rule := range []ThresholdRule{RuleMaxFraction, RuleAuto, RuleLinearityScan} {
+		thr, err := SelectThreshold(xs, ThresholdOptions{Rule: rule})
+		if err != nil {
+			t.Fatalf("rule %v: %v", rule, err)
+		}
+		wantTail := int(math.Round(float64(len(xs)) * (1 - ecdf.At(thr.U))))
+		if len(thr.Exceedances) != wantTail {
+			t.Errorf("rule %v: %d exceedances above u=%v, ECDF counts %d strictly above",
+				rule, len(thr.Exceedances), thr.U, wantTail)
+		}
+		for _, y := range thr.Exceedances {
+			if y <= 0 {
+				t.Fatalf("rule %v: exceedance %v not strictly above threshold", rule, y)
+			}
+		}
+	}
+}
+
+func TestFitGPDMomentsWallRejection(t *testing.T) {
+	// A sample whose variance dwarfs its squared mean (v >= 10·m²) implies a
+	// moment shape against the ξ = 1/2 wall — the infinite-variance regime
+	// where the estimator's own asymptotics are void. The pre-fix code
+	// silently clamped the shape and returned a garbage fit.
+	ys := make([]float64, 0, 100)
+	for i := 0; i < 99; i++ {
+		ys = append(ys, 1+0.001*float64(i))
+	}
+	ys = append(ys, 1000)
+	m, v := stats.Mean(ys), stats.Variance(ys)
+	if v < 10*m*m {
+		t.Fatalf("test construction broken: v=%v, m²=%v", v, m*m)
+	}
+	_, err := FitGPDMoments(ys)
+	if !errors.Is(err, ErrMomentsUndefined) {
+		t.Fatalf("err = %v, want ErrMomentsUndefined", err)
+	}
+	if !strings.Contains(err.Error(), "implied") {
+		t.Errorf("error should report the implied shape: %v", err)
+	}
+	// The permissive seed estimator still accepts the same data — it only
+	// feeds the likelihood search, which applies its own constraints.
+	if _, err := MomentsEstimate(ys); err != nil {
+		t.Errorf("MomentsEstimate should stay permissive: %v", err)
+	}
+}
+
+func TestEstimatorDiagnosticsSurfaceRejection(t *testing.T) {
+	d := newEstimatorDiag("moments", 50, Fit{}, ErrMomentsUndefined)
+	if !d.Rejected || d.Method != "moments" {
+		t.Fatalf("diag = %+v", d)
+	}
+	if d.Reason == "" {
+		t.Error("rejected diagnostic must carry the reason")
+	}
+	if d.Xi != 0 || d.Sigma != 0 || d.UPB != 0 {
+		t.Errorf("rejected diagnostic must zero its parameters: %+v", d)
+	}
+}
+
+func TestAnalyzeEstimatorDiagnostics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tail := GPD{Xi: -0.3, Sigma: 20}
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = 500 - tail.Rand(rng)
+	}
+	rep, err := Analyze(xs, POTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Estimators) != 3 {
+		t.Fatalf("Estimators = %d rows, want 3", len(rep.Estimators))
+	}
+	want := []string{"mle", "pwm", "moments"}
+	for i, d := range rep.Estimators {
+		if d.Method != want[i] {
+			t.Errorf("Estimators[%d].Method = %q, want %q", i, d.Method, want[i])
+		}
+		for _, v := range []float64{d.Xi, d.Sigma, d.UPB} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s diagnostic has non-finite value: %+v", d.Method, d)
+			}
+		}
+	}
+	mle := rep.Estimators[0]
+	if mle.Rejected || mle.Xi != rep.Fit.GPD.Xi || mle.Sigma != rep.Fit.GPD.Sigma {
+		t.Errorf("MLE diagnostic does not mirror the report fit: %+v vs %+v", mle, rep.Fit.GPD)
+	}
+	if mle.Bounded && math.Abs(mle.UPB-rep.UPB.Point) > 1e-9 {
+		t.Errorf("MLE diagnostic UPB %v != report point %v", mle.UPB, rep.UPB.Point)
+	}
+	// On clean GPD data all three estimators accept and agree on the sign of
+	// the shape.
+	for _, d := range rep.Estimators {
+		if d.Rejected {
+			t.Errorf("%s rejected clean GPD data: %s", d.Method, d.Reason)
+		} else if !d.Bounded {
+			t.Errorf("%s fitted unbounded shape %v on bounded data", d.Method, d.Xi)
+		}
+	}
+}
+
+func TestProfileNearZeroShapeDegradesToExponential(t *testing.T) {
+	// Exceedances from an (almost exactly) exponential tail: ξ = −1e-7. The
+	// closed-form profile must reach maximizing shapes of arbitrarily small
+	// magnitude; the pre-fix search clipped at |ξ| >= 1e-9 and underestimated
+	// the profile for large UPB, collapsing the Wilks interval.
+	rng := rand.New(rand.NewSource(29))
+	truth := GPD{Xi: -1e-7, Sigma: 2}
+	ys := truth.Sample(rng, 2000)
+	u := 100.0
+	mean := stats.Mean(ys)
+
+	// Far beyond the sample the profile approaches the exponential-model
+	// maximum −m·log(ȳ) − m, with maximizing shape ≈ −ȳ/(UPB−u) — orders of
+	// magnitude below any fixed clip.
+	upb := u + 1e9*mean
+	pl, xiHat := ProfileLogLikelihood(u, ys, upb)
+	expLL := exponentialLimitLL(ys)
+	if math.Abs(pl-expLL) > 1e-3 {
+		t.Errorf("profile at huge UPB = %v, exponential limit = %v", pl, expLL)
+	}
+	if !(xiHat < 0) || xiHat < -1e-6 {
+		t.Errorf("maximizing shape %v should be a tiny negative number", xiHat)
+	}
+
+	// Force a near-zero fitted shape (the calibration harness hits this when
+	// the MLE lands within ~1e-6 of 0) and check the interval shape: the
+	// likelihood-ratio test cannot reject ξ = 0, so the upper bound is +Inf,
+	// while the lower bound is a genuine interior crossing — strictly above
+	// the best observation, strictly below the point estimate. The pre-fix
+	// code returned the collapsed [maxObs, point].
+	fitG := GPD{Xi: -1e-7, Sigma: mean}
+	fit := Fit{GPD: fitG, LogLikelihood: fitG.LogLikelihood(ys), Exceedances: len(ys), Method: "mle"}
+	iv, err := UPBConfidenceInterval(u, ys, fit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxObs := u + stats.MustMax(ys)
+	if !math.IsInf(iv.Hi, 1) {
+		t.Errorf("Hi = %v, want +Inf (cannot reject an exponential tail)", iv.Hi)
+	}
+	if !(iv.Lo > maxObs) {
+		t.Errorf("Lo = %v collapsed onto best observation %v", iv.Lo, maxObs)
+	}
+	if !(iv.Lo < iv.Point) {
+		t.Errorf("Lo = %v not below point %v", iv.Lo, iv.Point)
+	}
+	// The crossing is a real likelihood-ratio boundary: the profile there
+	// sits on the Wilks cut, not at −Inf.
+	pl, _ = ProfileLogLikelihood(u, ys, iv.Lo)
+	chi2, _ := stats.Chi2Quantile1DF(0.05)
+	lmax := fit.LogLikelihood
+	if p, _ := ProfileLogLikelihood(u, ys, iv.Point); p > lmax {
+		lmax = p
+	}
+	if math.Abs(pl-(lmax-chi2/2)) > 1e-3*math.Abs(lmax-chi2/2)+1e-3 {
+		t.Errorf("profile at Lo = %v, Wilks cut = %v", pl, lmax-chi2/2)
+	}
+}
+
+func TestProfileClosedFormMatchesDirectMaximization(t *testing.T) {
+	// The closed form ξ* = S/m must agree with brute-force maximization of
+	// L(ξ, UPB) over a fine ξ grid, across the UPB range the interval search
+	// visits.
+	rng := rand.New(rand.NewSource(31))
+	truth := GPD{Xi: -0.3, Sigma: 5}
+	ys := truth.Sample(rng, 400)
+	u := 10.0
+	maxY := stats.MustMax(ys)
+	for _, upb := range []float64{u + maxY*1.001, u + maxY*1.1, u + maxY*2, u + maxY*50} {
+		pl, xiHat := ProfileLogLikelihood(u, ys, upb)
+		endpoint := upb - u
+		best := math.Inf(-1)
+		for k := 0; k < 20000; k++ {
+			xi := xiFloor + float64(k)*(math.Abs(xiFloor)-1e-9)/20000
+			sigma := -xi * endpoint
+			if ll := (GPD{Xi: xi, Sigma: sigma}).LogLikelihood(ys); ll > best {
+				best = ll
+			}
+		}
+		if pl < best-1e-6 {
+			t.Errorf("UPB=%v: closed form %v below grid max %v", upb, pl, best)
+		}
+		if xiHat <= xiFloor-1e-12 || xiHat >= 0 {
+			t.Errorf("UPB=%v: maximizing shape %v outside (−1, 0)", upb, xiHat)
+		}
+	}
+}
+
+func TestDegenerateExceedancesCleanErrors(t *testing.T) {
+	allEqual := []float64{3, 3, 3, 3, 3, 3, 3, 3}
+	twoDistinct := []float64{1, 1, 1, 1, 2, 2, 2, 2}
+	for name, ys := range map[string][]float64{"all-equal": allEqual, "two-distinct": twoDistinct} {
+		if _, err := FitGPD(ys); !errors.Is(err, ErrSampleTooSmall) || !errors.Is(err, ErrDegenerateTail) {
+			t.Errorf("FitGPD(%s) err = %v, want ErrDegenerateTail", name, err)
+		}
+		if _, err := FitGPDPWM(ys); !errors.Is(err, ErrDegenerateTail) {
+			t.Errorf("FitGPDPWM(%s) err = %v, want ErrDegenerateTail", name, err)
+		}
+		if _, err := FitGPDMoments(ys); !errors.Is(err, ErrDegenerateTail) {
+			t.Errorf("FitGPDMoments(%s) err = %v, want ErrDegenerateTail", name, err)
+		}
+	}
+}
+
+func TestAnalyzeDegenerateTailEndToEnd(t *testing.T) {
+	// A quantized population whose entire upper tail is one repeated value:
+	// after the tie-aware threshold snap the exceedance set is all-equal, so
+	// the pipeline must reject with a typed sample-size error — never NaN or
+	// ±Inf smuggled into a Report.
+	n := 1000
+	xs := make([]float64, 0, n)
+	for i := 0; i < n-60; i++ {
+		xs = append(xs, 90*float64(i)/float64(n))
+	}
+	for i := 0; i < 60; i++ {
+		xs = append(xs, 100)
+	}
+	rep, err := Analyze(xs, POTOptions{})
+	if err == nil {
+		t.Fatalf("expected an error, got report %+v", rep)
+	}
+	if !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("err = %v, want an ErrSampleTooSmall-family error", err)
+	}
+}
+
+func TestReportValidateFinite(t *testing.T) {
+	good := Report{UPB: UPBInterval{Hi: math.Inf(1)}}
+	if err := good.validateFinite(); err != nil {
+		t.Errorf("+Inf Hi is the documented exception: %v", err)
+	}
+	bad := Report{QQCorr: math.NaN()}
+	if err := bad.validateFinite(); err == nil {
+		t.Error("NaN QQCorr must be rejected")
+	}
+	badEst := Report{Estimators: []EstimatorDiag{{Method: "pwm", Xi: math.Inf(-1)}}}
+	if err := badEst.validateFinite(); err == nil {
+		t.Error("non-finite estimator diagnostic must be rejected")
+	}
+}

@@ -77,15 +77,36 @@ func SelectThreshold(xs []float64, opts ThresholdOptions) (Threshold, error) {
 		return Threshold{}, err
 	}
 
+	// build selects the threshold keeping ~m observations. The exceedance
+	// set is strictly above u — the same strict `>` the mean-excess plot,
+	// the ECDF tail count 1 − F̂(u) and the planner's exceedance
+	// probability all use — so observations equal to the threshold are
+	// never double-counted into the tail.
+	//
+	// Ties need care: when the m-th order statistic lands inside a run of
+	// repeated values, none of the run is strictly above u and the strict
+	// count can starve below MinExceedances even though plenty of tail
+	// data exists. A tie run is atomic — no threshold can split it — so
+	// the candidate snaps down to the next smaller distinct value, taking
+	// the whole run into the tail. That can overshoot MaxExceedFraction·n;
+	// the overshoot is forced by quantization (discrete performance
+	// populations produce exactly such samples) and is preferred to
+	// failing the analysis outright.
 	build := func(m int) (Threshold, error) {
 		u := sorted[n-m-1]
-		// Ties can make the actual exceedance count differ from m; recount.
-		i := sort.SearchFloat64s(sorted, u)
-		for i < n && sorted[i] == u {
-			i++
+		// first marks the first copy of u, end the first strict exceedance.
+		first := sort.SearchFloat64s(sorted, u)
+		end := first
+		for end < n && sorted[end] == u {
+			end++
 		}
-		ys := make([]float64, 0, n-i)
-		for _, x := range sorted[i:] {
+		for n-end < o.MinExceedances && first > 0 {
+			u = sorted[first-1]
+			end = first
+			first = sort.SearchFloat64s(sorted, u)
+		}
+		ys := make([]float64, 0, n-end)
+		for _, x := range sorted[end:] {
 			ys = append(ys, x-u)
 		}
 		if len(ys) < o.MinExceedances {

@@ -41,9 +41,23 @@ type UPBInterval struct {
 //
 //	L(ξ, UPB|y) = −m·log(−ξ(UPB−u)) − (1 + 1/ξ)·Σ log(1 − y_i/(UPB−u))
 //
-// (§3.3.2 Step 4), maximized over ξ ∈ (−1, 0) by golden-section search. It
-// also returns the maximizing ξ. UPB must exceed u + max(y); otherwise the
-// data would be outside the support and −Inf is returned.
+// (§3.3.2 Step 4), together with the maximizing ξ. UPB must exceed
+// u + max(y); otherwise the data would be outside the support and −Inf is
+// returned.
+//
+// The inner maximization is solved exactly: with S = Σ log(1 − y_i/(UPB−u))
+// (strictly negative) the profile score −m/ξ + S/ξ² has its unique zero at
+// ξ* = S/m, so no numerical search is needed. Crucially this keeps the
+// ξ → 0⁻ boundary honest: for UPB far beyond the sample, ξ* is a tiny
+// negative number (≈ −ȳ/(UPB−u)) that a search clipped at a fixed magnitude
+// like 1e-9 could never reach — that clipping used to underestimate the
+// profile near the point estimate of a near-exponential tail and collapse
+// the Wilks interval. At ξ* the profile simplifies to
+//
+//	L*(UPB) = −m·log(−S·(UPB−u)/m) − S − m,
+//
+// which degrades continuously to the exponential limit −m·log(ȳ) − m as
+// UPB → ∞.
 func ProfileLogLikelihood(u float64, ys []float64, upb float64) (ll, xiHat float64) {
 	m := float64(len(ys))
 	endpoint := upb - u
@@ -51,19 +65,29 @@ func ProfileLogLikelihood(u float64, ys []float64, upb float64) (ll, xiHat float
 	if endpoint <= maxY {
 		return math.Inf(-1), math.NaN()
 	}
-	// Pre-compute Σ log(1 − y/E); it does not depend on ξ.
+	// Pre-compute S = Σ log(1 − y/E); it does not depend on ξ.
 	var sumLog float64
 	for _, y := range ys {
 		sumLog += math.Log1p(-y / endpoint)
 	}
-	negLL := func(xi float64) float64 {
-		if xi >= -1e-9 || xi <= xiFloor {
-			return math.Inf(1)
-		}
-		return m*math.Log(-xi*endpoint) + (1+1/xi)*sumLog
+	xiHat = sumLog / m
+	if xiHat <= xiFloor {
+		// The endpoint is so close to max(y) that the unconstrained
+		// maximizer leaves the admissible shape range; the profile is
+		// increasing on (−1, ξ*), so the constrained maximum sits at the
+		// ξ > −1 boundary the likelihood search uses everywhere else.
+		xiHat = xiFloor
+		return -(m*math.Log(-xiHat*endpoint) + (1+1/xiHat)*sumLog), xiHat
 	}
-	xiHat, neg := optimize.GoldenSection(negLL, xiFloor, -1e-9, 1e-12)
-	return -neg, xiHat
+	return -m*math.Log(-xiHat*endpoint) - (sumLog + m), xiHat
+}
+
+// exponentialLimitLL is lim_{UPB→∞} L*(UPB): the maximized log-likelihood
+// of the ξ = 0 (exponential) tail model, −m·log(ȳ) − m. It is the supremum
+// the profile approaches when the data cannot pin down a finite endpoint.
+func exponentialLimitLL(ys []float64) float64 {
+	m := float64(len(ys))
+	return -m*math.Log(stats.Mean(ys)) - m
 }
 
 // UPBConfidenceInterval computes the (1−alpha) likelihood-ratio confidence
@@ -129,9 +153,19 @@ func UPBConfidenceInterval(u float64, ys []float64, fit Fit, alpha float64) (UPB
 		}
 	}
 
-	// Upper bound: expand geometrically beyond the point estimate until the
-	// profile drops below the cut, then bisect. If it never drops (shape
-	// indistinguishable from ξ=0 at this confidence), the bound is +Inf.
+	// Upper bound. The profile tends to the exponential-model likelihood as
+	// UPB → ∞, so when that limit clears the cut the likelihood-ratio test
+	// cannot reject ξ = 0 and the interval is unbounded above — exactly the
+	// ξ → 0⁻ degradation the paper's asymptotics imply. Testing the limit
+	// analytically (instead of hunting for a sign change that never comes)
+	// keeps near-zero fitted shapes from producing a collapsed or garbage
+	// finite bound.
+	if exponentialLimitLL(ys)-cut >= 0 {
+		iv.Hi = math.Inf(1)
+		return iv, nil
+	}
+	// Otherwise expand geometrically beyond the point estimate until the
+	// profile drops below the cut, then bisect.
 	span := point - u
 	if span <= 0 {
 		span = math.Max(1, math.Abs(point))
@@ -155,9 +189,8 @@ func UPBConfidenceInterval(u float64, ys []float64, fit Fit, alpha float64) (UPB
 			iv.Hi = x
 		}
 	}
-	// When the likelihood-ratio test cannot reject ξ = 0 the profile drops
-	// below the cut only at astronomically large UPB values; such a bound
-	// carries no information, so report it as unbounded.
+	// When the profile drops below the cut only at astronomically large UPB
+	// values the bound carries no information; report it as unbounded.
 	if iv.Hi > point+1000*span {
 		iv.Hi = math.Inf(1)
 	}
