@@ -8,13 +8,25 @@
 //
 //	measured [-addr :9120] [-benchmark IPFwd-L1] [-instances 8] [-seed 1]
 //	         [-read-timeout 5m] [-drain 10s] [-metrics-addr :9121]
+//	         [-register controller:9130] [-advertise host:9120]
 //
-// Drive it with cmd/optassign -connect host:9120. -addr accepts a
-// comma-separated list to serve several listeners from one process (e.g.
-// one per NIC, or several loopback ports to exercise a client pool). Idle
-// connections are reaped after -read-timeout so dead controllers don't
-// leak handlers; SIGINT/SIGTERM drains live connections for up to -drain,
-// then exits.
+// Drive it with cmd/optassign -connect host:9120, or join a dynamic fleet
+// with -register: the server announces itself (topology, task count,
+// testbed identity) to the registry hosted by optassign -registry,
+// heartbeats for as long as it serves, and re-announces automatically if
+// the registry link drops. -advertise is the measurement address the
+// controller dials back to verify and use; it defaults to the first -addr
+// and must be set explicitly when that is a wildcard like ":9120".
+//
+// -addr accepts a comma-separated list to serve several listeners from
+// one process (e.g. one per NIC, or several loopback ports to exercise a
+// client pool). Idle connections are reaped after -read-timeout so dead
+// controllers don't leak handlers. SIGINT/SIGTERM shuts down gracefully:
+// a registered server first runs the drain handshake — the controller
+// stops routing new measurements, in-flight ones finish and commit, the
+// registry acknowledges — then live connections drain for up to -drain,
+// then the process exits. A drained exit loses zero committed
+// measurements.
 //
 // Observability: -metrics-addr serves Prometheus text-format metrics at
 // /metrics (connections, requests, measurement latency) and a JSON
@@ -53,6 +65,8 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "drop a connection idle for this long (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for live connections to finish")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty disables)")
+	register := flag.String("register", "", "join the fleet registry at this address (see optassign -registry; empty disables)")
+	advertise := flag.String("advertise", "", "measurement address to advertise to the registry (default: the first -addr)")
 	flag.Parse()
 
 	app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
@@ -110,10 +124,56 @@ func main() {
 		fmt.Printf("observability at http://%s/metrics and /healthz\n", ml.Addr())
 	}
 
+	// Fleet membership: announce to the registry, heartbeat for life, and
+	// keep re-announcing through registry blips.
+	var registrant *remote.Registrant
+	var regCancel context.CancelFunc
+	if *register != "" {
+		addrAd := *advertise
+		if addrAd == "" {
+			addrAd = listeners[0].Addr().String()
+		}
+		regAddr := *register
+		var err error
+		registrant, err = remote.NewRegistrant(remote.RegistrantConfig{
+			Dial:     func() (net.Conn, error) { return net.Dial("tcp", regAddr) },
+			Hello:    remote.Hello{Topology: tb.Machine.Topo, Tasks: tb.TaskCount(), Name: app.Name()},
+			Addr:     addrAd,
+			Identity: tb.Identity(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var regCtx context.Context
+		regCtx, regCancel = context.WithCancel(context.Background())
+		defer regCancel()
+		go func() {
+			if err := registrant.Run(regCtx); err != nil && regCtx.Err() == nil {
+				// A rejection (identity mismatch, unreachable advertise
+				// address) is permanent; the server keeps serving -connect
+				// clients, but the operator must know the fleet refused it.
+				log.Printf("fleet registration ended: %v", err)
+			}
+		}()
+		fmt.Printf("registering with fleet at %s, advertising %s\n", regAddr, addrAd)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		if registrant != nil {
+			// Graceful departure first: after the registry acknowledges the
+			// drain, every measurement this server completed is committed
+			// controller-side and no new one will arrive.
+			fmt.Println("draining from fleet registry")
+			dctx, cancel := context.WithTimeout(context.Background(), *drain)
+			if err := registrant.Drain(dctx); err != nil {
+				log.Printf("fleet drain incomplete: %v", err)
+			}
+			cancel()
+			regCancel()
+		}
 		fmt.Println("shutting down, draining connections")
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

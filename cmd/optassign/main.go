@@ -10,6 +10,7 @@
 //	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
 //	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
 //	          [-workers 8] [-connect host1:7070,host2:7070]
+//	          [-registry :9140] [-min-servers 1]
 //	          [-cache] [-cache-size 4096]
 //	          [-progress] [-metrics-addr :9130]
 //
@@ -27,6 +28,14 @@
 // seed, so worker count — and even serial vs parallel — may change freely
 // across a -resume. To open several connections to one server, repeat its
 // address.
+//
+// Fleet mode: -registry hosts a membership registry instead of dialing a
+// fixed list — measurement servers started with measured -register join
+// by announcing themselves (the controller dials back to verify their
+// identity), heartbeat while they serve, and leave via the graceful drain
+// handshake on SIGTERM. The campaign starts once -min-servers have
+// joined; after that, members may come and go freely — the journal and
+// result stay byte-identical to a serial run regardless.
 //
 // Memoization: -cache serves structurally duplicate assignments (same
 // canonical form under the hardware symmetries, hence the same resource
@@ -149,6 +158,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print every iteration")
 	record := flag.String("record", "", "write every measurement to this campaign file (JSON lines)")
 	connect := flag.String("connect", "", "measure on remote testbeds served by cmd/measured: one address or a comma-separated pool")
+	registry := flag.String("registry", "", "host a fleet registry on this address and measure on servers that register with it (see measured -register)")
+	minServers := flag.Int("min-servers", 1, "with -registry, wait for this many registered servers before starting the campaign")
 	workers := flag.Int("workers", 0, "concurrent measurements (0 = one per remote server, else serial); any value yields results identical to a serial run")
 	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 disables)")
 	retries := flag.Int("retries", 0, "retries per measurement before quarantining it (0 disables the resilient wrapper unless -timeout is set)")
@@ -162,6 +173,9 @@ func main() {
 
 	if *resume && *journalPath == "" {
 		log.Fatal("-resume needs -journal")
+	}
+	if *registry != "" && *connect != "" {
+		log.Fatal("-registry and -connect are mutually exclusive: a fleet is either dynamic or a static list")
 	}
 
 	var addrs []string
@@ -192,8 +206,38 @@ func main() {
 		tasks    int
 		name     string
 		identity string // cache identity of the measurement source
+		poolSize int    // pooled servers at campaign start (0 = not pooled)
 	)
 	switch {
+	case *registry != "":
+		// Dynamic fleet: host the registry, let servers announce and join,
+		// start once enough have been identity-verified into the pool.
+		// Members keep joining and leaving while the campaign runs.
+		pool := remote.NewPool(remote.PoolConfig{
+			Client:  remote.ClientConfig{Events: events, Metrics: remote.NewClientMetrics(reg)},
+			Events:  events,
+			Metrics: remote.NewPoolMetrics(reg),
+		})
+		defer pool.Close()
+		fleet := remote.NewRegistry(pool, remote.RegistryConfig{
+			Events:  events,
+			Metrics: remote.NewMembershipMetrics(reg),
+		})
+		l, err := net.Listen("tcp", *registry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go fleet.Serve(l)
+		defer fleet.Close()
+		fmt.Printf("fleet registry at %s; waiting for %d server(s) (measured -register %s)\n",
+			l.Addr(), *minServers, l.Addr())
+		if err := pool.WaitReady(context.Background(), *minServers); err != nil {
+			log.Fatal(err)
+		}
+		runner, topo, tasks, name = pool, pool.Topology(), pool.Tasks(), pool.Hello().Name
+		identity = fmt.Sprintf("remote|%s|%d|s%d", name, tasks, *seed)
+		poolSize = pool.Size()
+		fmt.Printf("fleet ready: %d server(s), %d tasks on %s\n", poolSize, tasks, topo)
 	case len(addrs) > 1:
 		pool, err := remote.DialPool(addrs, remote.PoolConfig{
 			Client:  remote.ClientConfig{Events: events, Metrics: remote.NewClientMetrics(reg)},
@@ -206,6 +250,7 @@ func main() {
 		defer pool.Close()
 		runner, topo, tasks, name = pool, pool.Topology(), pool.Tasks(), pool.Hello().Name
 		identity = fmt.Sprintf("remote|%s|%d|s%d", name, tasks, *seed)
+		poolSize = pool.Size()
 		fmt.Printf("remote testbed pool: %d servers, %d tasks on %s\n", pool.Size(), tasks, topo)
 	case len(addrs) == 1:
 		addr := addrs[0]
@@ -332,8 +377,8 @@ func main() {
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = 1
-		if len(addrs) > 1 {
-			nWorkers = len(addrs) // keep every pooled testbed busy
+		if poolSize > 1 {
+			nWorkers = poolSize // keep every pooled testbed busy
 		}
 	}
 

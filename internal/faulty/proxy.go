@@ -4,21 +4,40 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 )
 
-// Proxy sits between a remote.Client and a remote.Server and
-// deterministically kills the link: each proxied connection is cut after
-// DropAfter newline-delimited frames have flowed server→client (the hello
-// counts as one frame). Clients see a clean mid-campaign disconnect —
-// exactly what the reconnecting client must survive.
+// ProxyConfig tunes a Proxy's fault repertoire beyond the basic frame-
+// counting cut.
+type ProxyConfig struct {
+	// DropAfter cuts each proxied connection after this many server→client
+	// newline-delimited frames (the hello counts as one). ≤ 0 never cuts.
+	DropAfter int
+	// SlowWrite, when positive, turns the client→server direction into a
+	// slowloris peer: bytes trickle through one at a time with this delay
+	// between them, so a request that normally arrives in one write takes
+	// len(request)×SlowWrite to complete. Servers must bound the whole
+	// frame with a read deadline or hang forever on such a peer.
+	SlowWrite time.Duration
+}
+
+// Proxy sits between a remote.Client and a remote.Server and injects
+// transport faults deterministically: frame-counted connection cuts
+// (DropAfter), on-demand bidirectional partitions (Hold/Release), and
+// slowloris-style byte-trickled writes (SlowWrite). Clients see clean
+// disconnects, silent links, or glacial peers — exactly the failure
+// repertoire the reconnecting client, the fleet registry's heartbeat
+// timers, and the server's read deadlines must absorb.
 type Proxy struct {
-	target    string
-	dropAfter int
+	target string
+	cfg    ProxyConfig
 
 	l  net.Listener
 	wg sync.WaitGroup
 
 	mu     sync.Mutex
+	gate   *sync.Cond
+	held   bool
 	conns  map[net.Conn]struct{}
 	closed bool
 	cuts   int
@@ -27,11 +46,17 @@ type Proxy struct {
 // NewProxy listens on a fresh loopback port and forwards connections to
 // target. dropAfter ≤ 0 never drops (a transparent proxy).
 func NewProxy(target string, dropAfter int) (*Proxy, error) {
+	return NewProxyConfig(target, ProxyConfig{DropAfter: dropAfter})
+}
+
+// NewProxyConfig is NewProxy with the full fault repertoire.
+func NewProxyConfig(target string, cfg ProxyConfig) (*Proxy, error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{target: target, dropAfter: dropAfter, l: l, conns: make(map[net.Conn]struct{})}
+	p := &Proxy{target: target, cfg: cfg, l: l, conns: make(map[net.Conn]struct{})}
+	p.gate = sync.NewCond(&p.mu)
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -47,6 +72,35 @@ func (p *Proxy) Cuts() int {
 	return p.cuts
 }
 
+// Hold partitions every proxied connection: the links stay open but no
+// byte flows in either direction until Release. To the peers it looks
+// like a network partition — TCP keeps the sockets alive, heartbeats and
+// responses just never arrive.
+func (p *Proxy) Hold() {
+	p.mu.Lock()
+	p.held = true
+	p.mu.Unlock()
+}
+
+// Release heals a Hold partition; buffered traffic resumes immediately.
+func (p *Proxy) Release() {
+	p.mu.Lock()
+	p.held = false
+	p.gate.Broadcast()
+	p.mu.Unlock()
+}
+
+// pass blocks while the proxy is held; it reports false once the proxy
+// has closed (forwarders should stop).
+func (p *Proxy) pass() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.held && !p.closed {
+		p.gate.Wait()
+	}
+	return !p.closed
+}
+
 // Close stops the proxy and severs every live link.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
@@ -54,6 +108,7 @@ func (p *Proxy) Close() error {
 	for c := range p.conns {
 		c.Close()
 	}
+	p.gate.Broadcast() // unblock forwarders parked at a Hold gate
 	p.mu.Unlock()
 	err := p.l.Close()
 	p.wg.Wait()
@@ -104,6 +159,30 @@ func (p *Proxy) untrack(conns ...net.Conn) {
 	}
 }
 
+// forward writes buf to dst honoring the partition gate and, in slowloris
+// mode, the per-byte trickle. It reports false when the write (or the
+// proxy) is done for.
+func (p *Proxy) forward(dst net.Conn, buf []byte, slow time.Duration) bool {
+	if slow <= 0 {
+		if !p.pass() {
+			return false
+		}
+		_, err := dst.Write(buf)
+		return err == nil
+	}
+	for i := range buf {
+		// Gate every byte: a Hold stalls a slowloris mid-frame too.
+		if !p.pass() {
+			return false
+		}
+		if _, err := dst.Write(buf[i : i+1]); err != nil {
+			return false
+		}
+		time.Sleep(slow)
+	}
+	return true
+}
+
 // pipe shuttles bytes both ways, counting server→client frames; at the
 // drop threshold it closes both sides.
 func (p *Proxy) pipe(client, server net.Conn) {
@@ -111,13 +190,13 @@ func (p *Proxy) pipe(client, server net.Conn) {
 	defer p.untrack(client, server)
 
 	done := make(chan struct{}, 2)
-	// client → server: transparent byte copy.
+	// client → server: byte copy (trickled in slowloris mode).
 	go func() {
 		buf := make([]byte, 32*1024)
 		for {
 			n, err := client.Read(buf)
 			if n > 0 {
-				if _, werr := server.Write(buf[:n]); werr != nil {
+				if !p.forward(server, buf[:n], p.cfg.SlowWrite) {
 					break
 				}
 			}
@@ -134,7 +213,7 @@ func (p *Proxy) pipe(client, server net.Conn) {
 		for {
 			line, err := r.ReadBytes('\n')
 			if len(line) > 0 {
-				if _, werr := client.Write(line); werr != nil {
+				if !p.forward(client, line, 0) {
 					break
 				}
 			}
@@ -142,7 +221,7 @@ func (p *Proxy) pipe(client, server net.Conn) {
 				break
 			}
 			frames++
-			if p.dropAfter > 0 && frames >= p.dropAfter {
+			if p.cfg.DropAfter > 0 && frames >= p.cfg.DropAfter {
 				p.mu.Lock()
 				p.cuts++
 				p.mu.Unlock()

@@ -1,0 +1,154 @@
+package faulty
+
+// Proxy fault-repertoire mechanics: the Hold/Release partition gate and
+// the SlowWrite trickle, tested against a plain line-echo server so the
+// byte-level behavior is visible without the measurement protocol on top.
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// startEchoServer accepts connections and echoes newline-delimited lines.
+func startEchoServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					line, err := r.ReadBytes('\n')
+					if len(line) > 0 {
+						if _, werr := conn.Write(line); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestProxyHoldPartitionsUntilRelease(t *testing.T) {
+	p, err := NewProxyConfig(startEchoServer(t), ProxyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	// Healthy link: a line echoes back.
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := r.ReadString('\n'); err != nil || line != "ping\n" {
+		t.Fatalf("echo = %q, %v", line, err)
+	}
+
+	// Partition: the connection stays up but nothing flows. The write
+	// succeeds locally (TCP buffers it); the echo never arrives.
+	p.Hold()
+	if _, err := conn.Write([]byte("held\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if line, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("partitioned link delivered %q", line)
+	} else if !os.IsTimeout(err) {
+		t.Fatalf("partitioned read failed with %v, want timeout (link must stay open)", err)
+	}
+
+	// Heal: the buffered line flows through.
+	p.Release()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if line, err := r.ReadString('\n'); err != nil || line != "held\n" {
+		t.Fatalf("post-release echo = %q, %v", line, err)
+	}
+}
+
+func TestProxySlowWriteTricklesBytes(t *testing.T) {
+	const slow = 2 * time.Millisecond
+	p, err := NewProxyConfig(startEchoServer(t), ProxyConfig{SlowWrite: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// 21 bytes client→server at 2 ms/byte: the payload cannot complete in
+	// under ~40 ms. The echo path (server→client) is full speed, so the
+	// round-trip time measures the trickle alone.
+	payload := "slowloris-handshake!\n"
+	start := time.Now()
+	if _, err := conn.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || line != payload {
+		t.Fatalf("echo = %q, %v", line, err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Duration(len(payload)-1)*slow {
+		t.Fatalf("trickle too fast: %d bytes in %v", len(payload), elapsed)
+	}
+}
+
+func TestProxyCloseUnblocksHeldForwarders(t *testing.T) {
+	p, err := NewProxyConfig(startEchoServer(t), ProxyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	// Park a forwarder at the gate mid-transfer, then close the proxy:
+	// Close must not deadlock on the held goroutine.
+	p.Hold()
+	conn.Write([]byte("stuck\n"))
+	time.Sleep(20 * time.Millisecond) // let the forwarder reach the gate
+	done := make(chan error, 1)
+	go func() { done <- p.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on a held forwarder")
+	}
+}

@@ -32,13 +32,19 @@ func NewClientMetrics(r *obs.Registry) *ClientMetrics {
 	}
 }
 
-// PoolMetrics counts the pool-level fault tolerance: failovers between
-// servers and the bench/unbench churn of unhealthy ones.
+// PoolMetrics counts the pool-level fault tolerance and membership: the
+// failover/bench churn of unhealthy servers plus the join/leave/drain
+// churn of a dynamic fleet.
 type PoolMetrics struct {
 	Failovers      *obs.Counter
 	Benches        *obs.Counter
 	Unbenches      *obs.Counter
 	BenchedServers *obs.Gauge
+	Members        *obs.Gauge
+	SuspectServers *obs.Gauge
+	Joins          *obs.Counter
+	Leaves         *obs.Counter
+	Drains         *obs.Counter
 }
 
 // NewPoolMetrics registers the client-pool series on r; nil registry,
@@ -52,6 +58,43 @@ func NewPoolMetrics(r *obs.Registry) *PoolMetrics {
 		Benches:        r.Counter("optassign_remote_pool_benches_total", "Servers benched after consecutive failures."),
 		Unbenches:      r.Counter("optassign_remote_pool_unbenches_total", "Benched servers restored by a success."),
 		BenchedServers: r.Gauge("optassign_remote_pool_benched_servers", "Servers currently inside a bench cooldown window."),
+		Members:        r.Gauge("optassign_remote_pool_members", "Servers currently in the pool membership."),
+		SuspectServers: r.Gauge("optassign_remote_pool_suspect_servers", "Members currently marked suspect (missed heartbeats)."),
+		Joins:          r.Counter("optassign_remote_pool_joins_total", "Servers admitted to the pool."),
+		Leaves:         r.Counter("optassign_remote_pool_leaves_total", "Servers removed from the pool (drains included)."),
+		Drains:         r.Counter("optassign_remote_pool_drains_total", "Servers that left via graceful drain."),
+	}
+}
+
+// MembershipMetrics is the registry's view of the fleet: how many servers
+// are registered, how many are suspect, and the join/leave/drain/
+// heartbeat traffic. The pool gauges above count what the campaign can
+// route to; these count what the fleet protocol sees — the two must agree
+// whenever the fleet is quiescent, which the chaos suite asserts.
+type MembershipMetrics struct {
+	Members       *obs.Gauge
+	Suspects      *obs.Gauge
+	Joins         *obs.Counter
+	RejectedJoins *obs.Counter
+	Leaves        *obs.Counter
+	Drains        *obs.Counter
+	Heartbeats    *obs.Counter
+}
+
+// NewMembershipMetrics registers the fleet-membership series on r; nil
+// registry, nil bundle.
+func NewMembershipMetrics(r *obs.Registry) *MembershipMetrics {
+	if r == nil {
+		return nil
+	}
+	return &MembershipMetrics{
+		Members:       r.Gauge("optassign_fleet_members", "Servers currently registered with the fleet registry."),
+		Suspects:      r.Gauge("optassign_fleet_suspects", "Registered servers currently suspect (missed heartbeats)."),
+		Joins:         r.Counter("optassign_fleet_joins_total", "Servers that completed registration."),
+		RejectedJoins: r.Counter("optassign_fleet_rejected_joins_total", "Registration attempts refused (identity mismatch, unreachable, draining)."),
+		Leaves:        r.Counter("optassign_fleet_leaves_total", "Servers that left the fleet (drained, evicted or disconnected)."),
+		Drains:        r.Counter("optassign_fleet_drains_total", "Graceful drains completed."),
+		Heartbeats:    r.Counter("optassign_fleet_heartbeats_total", "Heartbeat frames received."),
 	}
 }
 

@@ -60,6 +60,52 @@ type Response struct {
 	Error string  `json:"error,omitempty"`
 }
 
+// Fleet-membership frame types (newline-delimited JSON over TCP, like the
+// measurement protocol). A measurement server dials the controller's
+// registry endpoint, announces itself, and heartbeats; the registry
+// verifies its identity out-of-band (by dialing the advertised
+// measurement address and checking the Hello) and replies:
+//
+//	server → registry  announce:  {"type":"announce","hello":{...},"addr":"host:9120","identity":"..."}
+//	registry → server  welcome:   {"type":"welcome","interval":"1s"}
+//	registry → server  reject:    {"type":"reject","error":"..."}
+//	server → registry  heartbeat: {"type":"heartbeat","seq":N}
+//	server → registry  drain:     {"type":"drain"}
+//	registry → server  drained:   {"type":"drained"}
+//
+// The drain exchange is the graceful-departure handshake: after the
+// server sends "drain" the registry stops routing new measurements to it,
+// lets the in-flight one finish and commit, closes the measurement
+// connection, and only then acknowledges with "drained" — so a SIGTERM'd
+// server that waits for the ack is guaranteed to have lost zero committed
+// measurements.
+const (
+	FrameAnnounce  = "announce"
+	FrameHeartbeat = "heartbeat"
+	FrameDrain     = "drain"
+	FrameWelcome   = "welcome"
+	FrameReject    = "reject"
+	FrameDrained   = "drained"
+)
+
+// RegistryFrame is one message of the fleet-membership protocol; Type
+// selects which of the optional fields are meaningful.
+type RegistryFrame struct {
+	Type string `json:"type"`
+	// Announce: what the server measures, where to dial it, and the
+	// testbed identity string (netdps.Testbed.Identity or equivalent).
+	Hello    *Hello `json:"hello,omitempty"`
+	Addr     string `json:"addr,omitempty"`
+	Identity string `json:"identity,omitempty"`
+	// Heartbeat: a monotonically increasing sequence number.
+	Seq uint64 `json:"seq,omitempty"`
+	// Welcome: the heartbeat interval the registry expects, as a
+	// time.Duration string.
+	Interval string `json:"interval,omitempty"`
+	// Reject: why registration was refused.
+	Error string `json:"error,omitempty"`
+}
+
 // Server exposes a Runner to remote clients.
 type Server struct {
 	Runner core.Runner
