@@ -9,9 +9,10 @@
 //
 // Usage:
 //
-//	calibrate [-scenario gpd|mixture|discrete|iter|all] [-replications 2000]
-//	          [-n 0] [-seed 1] [-loss 5] [-fractions 0.05,0.1,0.2]
-//	          [-workers 0] [-json] [-min-coverage 0]
+//	calibrate [-scenario gpd|mixture|discrete|iter|search|all]
+//	          [-replications 2000] [-n 0] [-seed 1] [-loss 5]
+//	          [-fractions 0.05,0.1,0.2] [-workers 0] [-json]
+//	          [-min-coverage 0] [-search-speedup 0]
 //	          [-metrics-addr :9131]
 //
 // Scenarios: "gpd" samples an exactly-GPD population (threshold-stable, the
@@ -20,14 +21,27 @@
 // "discrete" a finite assignment-class population enumerated from the
 // simulated testbed (heavy ties, the paper's actual sampling process);
 // "iter" runs full §5.3 iterative campaigns against the discrete population
-// and checks the stopping promise; "all" runs everything.
+// and checks the stopping promise; "search" runs the head-to-head search
+// strategy study — every built-in strategy drives full campaigns against
+// the same known-optimum population (does a smarter sampler reach the same
+// loss promise with fewer measurements?) and every tail-safe strategy is
+// coverage-calibrated on a continuous known-endpoint landscape; "all" runs
+// everything except "search" (ask for it explicitly — it is a study of the
+// search layer, not of the estimator).
 //
 // -n 0 uses each scenario's recommended sample size. -fractions runs the
 // threshold-sensitivity sweep over the given MaxExceedFraction caps.
 // -min-coverage F exits with status 2 if any coverage scenario lands below
-// F — the CI regression-gate hook. -json replaces the text report with one
-// JSON document on stdout. Every run is deterministic in (-seed,
-// -replications, -n): worker count never changes results.
+// F — the CI regression-gate hook. For -scenario search it also bounds the
+// per-strategy coverage band symmetrically about the nominal 0.95 (floor
+// 0.93 ⇒ band [0.93, 0.97]). -search-speedup F exits with status 2 unless
+// at least one tail-safe non-uniform strategy reaches the promise with a
+// fraction F fewer measurements than uniform and zero violations — the
+// strategy efficiency gate. -json replaces the text report with one JSON
+// document on stdout. Every run is deterministic in (-seed, -replications,
+// -n): worker count never changes results. The search scenario pins its
+// own replication counts, seed, and promise (the CI gate numbers) unless
+// -replications, -seed, or -loss are given explicitly.
 package main
 
 import (
@@ -47,17 +61,18 @@ import (
 
 // output is the JSON shape of a full run.
 type output struct {
-	Seed        int64                 `json:"seed"`
-	Coverage    []calibrate.Result    `json:"coverage,omitempty"`
-	Sensitivity []calibrate.Result    `json:"sensitivity,omitempty"`
-	Iterative   *calibrate.IterResult `json:"iterative,omitempty"`
+	Seed        int64                        `json:"seed"`
+	Coverage    []calibrate.Result           `json:"coverage,omitempty"`
+	Sensitivity []calibrate.Result           `json:"sensitivity,omitempty"`
+	Iterative   *calibrate.IterResult        `json:"iterative,omitempty"`
+	Search      *calibrate.SearchStudyResult `json:"search,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
 
-	scenario := flag.String("scenario", "gpd", "gpd, mixture, discrete, iter, or all")
+	scenario := flag.String("scenario", "gpd", "gpd, mixture, discrete, iter, search, or all (all = everything but search)")
 	replications := flag.Int("replications", 2000, "independent synthetic campaigns per scenario")
 	n := flag.Int("n", 0, "sample size per replication (0 = scenario default)")
 	seed := flag.Int64("seed", 1, "base seed; replication r uses a stream derived from it")
@@ -65,7 +80,8 @@ func main() {
 	fractionsFlag := flag.String("fractions", "", "comma-separated MaxExceedFraction caps for a threshold-sensitivity sweep (empty disables)")
 	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS); results are identical for any value")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text")
-	minCoverage := flag.Float64("min-coverage", 0, "exit 2 if any coverage scenario falls below this floor (0 disables)")
+	minCoverage := flag.Float64("min-coverage", 0, "exit 2 if any coverage scenario falls below this floor (0 disables); for -scenario search the band is symmetric about 0.95")
+	searchSpeedup := flag.Float64("search-speedup", 0, "with -scenario search: exit 2 unless a tail-safe strategy beats uniform's measurement count by this fraction with zero violations (0 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while calibrating (empty disables)")
 	flag.Parse()
 
@@ -98,16 +114,23 @@ func main() {
 	}
 
 	var names []string
-	runIter := false
+	runIter, runSearch := false, false
 	switch *scenario {
 	case "all":
 		names = calibrate.ScenarioNames
 		runIter = true
 	case "iter":
 		runIter = true
+	case "search":
+		runSearch = true
 	default:
 		names = []string{*scenario}
 	}
+
+	// The search study pins its own gate configuration (seed, replication
+	// counts, promise); an explicitly-set flag overrides the pin.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	out := output{Seed: *seed}
 	text := func(format string, args ...any) {
@@ -190,6 +213,53 @@ func main() {
 		text("=== stopping rule: iterative algorithm ===\n")
 		if !*jsonOut {
 			calibrate.PrintIterResult(os.Stdout, res)
+		}
+	}
+
+	if runSearch {
+		cfg, effPop, covPop, err := calibrate.BuiltinSearchStudy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Iter.Workers = *workers
+		cfg.Iter.Metrics = metrics
+		cfg.Coverage.Workers = *workers
+		if explicit["replications"] {
+			cfg.Iter.Replications = *replications
+			cfg.Coverage.Replications = *replications
+		}
+		if explicit["seed"] {
+			cfg.Iter.Seed = *seed
+			cfg.Coverage.Seed = *seed
+		}
+		if explicit["loss"] {
+			cfg.Iter.AcceptLossPct = *loss
+		}
+		res, err := calibrate.RunSearchStudy(cfg, effPop, covPop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Search = &res
+		text("=== search strategies: efficiency and coverage ===\n")
+		if !*jsonOut {
+			calibrate.PrintSearchStudy(os.Stdout, res)
+		}
+		if *searchSpeedup > 0 && res.BestSavingsPct < *searchSpeedup*100 {
+			coverageFloorBroken = true
+			text("!! best strategy savings %.1f%% below the -search-speedup bar %.1f%%\n",
+				res.BestSavingsPct, *searchSpeedup*100)
+		}
+		if *minCoverage > 0 {
+			// The 1e-9 slack absorbs float representation error at the band
+			// edges (e.g. 291/300 vs an arithmetically-derived 0.97).
+			hi := 0.95 + (0.95 - *minCoverage)
+			for _, cr := range res.Coverage {
+				if cr.Coverage < *minCoverage-1e-9 || cr.Coverage > hi+1e-9 {
+					coverageFloorBroken = true
+					text("!! strategy %s coverage %.4f outside the [%.4f, %.4f] band\n",
+						cr.Strategy, cr.Coverage, *minCoverage, hi)
+				}
+			}
 		}
 	}
 

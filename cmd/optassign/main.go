@@ -8,11 +8,23 @@
 //
 //	optassign [-benchmark IPFwd-L1] [-instances 8] [-loss 2.5]
 //	          [-ninit 1000] [-ndelta 100] [-max 12000] [-seed 1] [-v]
+//	          [-strategy uniform] [-strategy-params k=v,...]
 //	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
 //	          [-workers 8] [-connect host1:7070,host2:7070]
 //	          [-registry :9140] [-min-servers 1]
 //	          [-cache] [-cache-size 4096]
 //	          [-progress] [-metrics-addr :9130]
+//
+// Search strategy: -strategy picks how assignment draws are generated —
+// uniform (the paper's i.i.d. sampler, the default), stratified (spreads
+// draws across canonical equivalence classes), greedy (hill-climbs from
+// the incumbent best), or anneal (simulated annealing). Uniform and
+// stratified are tail-safe: every draw feeds the EVT optimum estimate.
+// Greedy marks its adaptive moves as exploration, excluded from the fit
+// so the confidence interval stays calibrated; anneal's biased sample
+// makes the reported optimum estimate advisory only. The strategy's
+// canonical spec is stamped into the journal header, and -resume refuses
+// to continue a journal under a different strategy.
 //
 // Fault tolerance: -retries/-timeout wrap the measurement source in a
 // resilient runner (retry with backoff, quarantine after the budget);
@@ -75,6 +87,7 @@ import (
 	"optassign/internal/netgen"
 	"optassign/internal/obs"
 	"optassign/internal/remote"
+	"optassign/internal/search"
 	"optassign/internal/t2"
 )
 
@@ -169,7 +182,23 @@ func main() {
 	cacheSize := flag.Int("cache-size", 4096, "canonical classes kept by -cache before LRU eviction")
 	progress := flag.Bool("progress", false, "keep a live status line on stderr as the campaign converges")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the campaign runs (empty disables)")
+	strategy := flag.String("strategy", "uniform",
+		"search strategy for assignment draws: "+strings.Join(search.Names, ", ")+" (only uniform and stratified keep the tail estimate calibrated)")
+	strategyParams := flag.String("strategy-params", "", "strategy parameters as key=value pairs, comma-separated (e.g. init=200,explore=0.2)")
 	flag.Parse()
+
+	sparams, err := search.ParseParams(*strategyParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Validate the (name, params) combination before any servers are
+	// dialed; the real instance is built later, once the metrics registry
+	// exists. The canonical spec goes into the journal header so -resume
+	// can refuse a strategy switch.
+	if _, err := search.New(*strategy, sparams, nil); err != nil {
+		log.Fatal(err)
+	}
+	strategySpec := search.Spec(*strategy, sparams)
 
 	if *resume && *journalPath == "" {
 		log.Fatal("-resume needs -journal")
@@ -307,6 +336,24 @@ func main() {
 		Metrics:       core.NewIterMetrics(reg),
 	}
 
+	// Search strategy: the default uniform draw keeps cfg.Strategy nil so
+	// the campaign takes the legacy sampler path (and its journals stay
+	// headerless, readable by older builds). Any explicit non-uniform
+	// choice is constructed here, instrumented into the same registry.
+	if strategySpec != "" {
+		sm := search.NewMetrics(reg, *strategy)
+		strat, serr := search.New(*strategy, sparams, sm)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		cfg.Strategy = strat
+		cfg.SearchMetrics = sm
+		if !strat.TailSafe() {
+			fmt.Printf("note: strategy %s biases the sample toward its incumbent; the optimum estimate is fit on i.i.d. draws only\n", strat.Name())
+		}
+		fmt.Printf("search strategy: %s\n", strategySpec)
+	}
+
 	// Resilience layer: retry transient failures with backoff, quarantine
 	// the incurable instead of aborting the campaign.
 	if *retries > 0 || *timeout > 0 {
@@ -347,7 +394,7 @@ func main() {
 	// the next one starts, so a killed campaign resumes from where it was.
 	var j *campaign.Journal
 	if *journalPath != "" {
-		h := campaign.JournalHeader{Benchmark: name, Topo: topo, Tasks: tasks, Seed: *seed}
+		h := campaign.JournalHeader{Benchmark: name, Topo: topo, Tasks: tasks, Seed: *seed, Strategy: strategySpec}
 		var err error
 		if *resume {
 			var st *campaign.JournalState
@@ -357,6 +404,9 @@ func main() {
 			}
 			cfg.Resume = st.Results
 			cfg.ResumeDraws = st.Draws
+			// Outcome-driven strategies rebuild their internal state by
+			// replaying the journaled draw log; uniform ignores it.
+			cfg.ResumeLog = st.Log
 			fmt.Printf("resuming from %s: %d measurements recovered (%d quarantined)\n",
 				*journalPath, len(st.Results), st.Quarantined)
 		} else {
@@ -388,7 +438,6 @@ func main() {
 	defer stop()
 
 	var res core.IterResult
-	var err error
 	if nWorkers > 1 {
 		// Parallel fan-out: the shared measurement stack feeds nWorkers
 		// concurrent workers; completions commit to the journal and the

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-seed N] [-only table1,fig1,...,fig14,ext-sched,ext-predictor,ext-ablation,ext-select,ext-topology]
+//	paperbench [-seed N] [-only table1,fig1,...,fig14,ext-sched,ext-predictor,ext-ablation,ext-select,ext-search,ext-topology]
 //	           [-timeout 30s] [-retries 3]
 //
 // -timeout and -retries arm the fault-tolerant measurement wrapper for the
@@ -165,6 +165,14 @@ func main() {
 			fail("ext-select", err)
 		}
 		exp.PrintSelectStudy(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("ext-search") {
+		cells, err := exp.SearchStrategyStudy(env)
+		if err != nil {
+			fail("ext-search", err)
+		}
+		exp.PrintSearchStrategyStudy(out, cells)
 		fmt.Fprintln(out)
 	}
 	if run("ext-topology") {

@@ -8,6 +8,7 @@ import (
 
 	"optassign/internal/core"
 	"optassign/internal/evt"
+	"optassign/internal/search"
 )
 
 // IterConfig parameterizes the calibration of the §5.3 iterative
@@ -35,6 +36,12 @@ type IterConfig struct {
 	Workers int
 	// Metrics, when non-nil, counts campaigns as they finish.
 	Metrics *Metrics
+	// NewStrategy constructs the per-replication search strategy
+	// (strategies are stateful, so every campaign needs a fresh one).
+	// nil runs the paper's uniform baseline. StrategyName labels the
+	// result; it defaults to "uniform".
+	NewStrategy  func() (search.Strategy, error)
+	StrategyName string
 }
 
 func (c IterConfig) withDefaults() IterConfig {
@@ -62,6 +69,7 @@ func (c IterConfig) withDefaults() IterConfig {
 // IterResult reports how the stopping rule's promise held up.
 type IterResult struct {
 	Scenario      string  `json:"scenario"`
+	Strategy      string  `json:"strategy,omitempty"`
 	TrueOptimum   float64 `json:"true_optimum"`
 	Replications  int     `json:"replications"`
 	AcceptLossPct float64 `json:"accept_loss_pct"`
@@ -125,9 +133,13 @@ func RunIterative(cfg IterConfig, pop *DiscretePopulation) (IterResult, error) {
 
 	res := IterResult{
 		Scenario:      pop.Name(),
+		Strategy:      cfg.StrategyName,
 		TrueOptimum:   truth,
 		Replications:  cfg.Replications,
 		AcceptLossPct: cfg.AcceptLossPct,
+	}
+	if res.Strategy == "" {
+		res.Strategy = "uniform"
 	}
 	var sumLoss, sumSamples float64
 	for _, o := range outcomes {
@@ -160,6 +172,14 @@ func RunIterative(cfg IterConfig, pop *DiscretePopulation) (IterResult, error) {
 
 // iterReplicate runs one full campaign.
 func iterReplicate(cfg IterConfig, pop *DiscretePopulation, truth float64, runner core.Runner, r int) iterOutcome {
+	var strat search.Strategy
+	if cfg.NewStrategy != nil {
+		var err error
+		strat, err = cfg.NewStrategy()
+		if err != nil {
+			return iterOutcome{status: "failed"}
+		}
+	}
 	result, err := core.Iterate(core.IterConfig{
 		Topo:          pop.Topo(),
 		Tasks:         pop.Tasks(),
@@ -169,6 +189,7 @@ func iterReplicate(cfg IterConfig, pop *DiscretePopulation, truth float64, runne
 		MaxSamples:    cfg.MaxSamples,
 		POT:           cfg.POT,
 		Seed:          repSeed(cfg.Seed, r),
+		Strategy:      strat,
 	}, runner)
 	o := iterOutcome{samples: result.Samples}
 	switch {

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"optassign/internal/evt"
+	"optassign/internal/search"
 )
 
 // Population is a synthetic performance distribution with an analytically
@@ -143,17 +144,13 @@ func (p MixturePopulation) Sample(rng *rand.Rand, n int) []float64 {
 }
 
 // repSeed derives the RNG seed of replication rep from the campaign base
-// seed with a splitmix64 finalizer. Derived streams are deterministic,
-// order-independent (replication 7 gets the same seed whether it runs
-// first or last, serially or on any worker) and well de-correlated — a
-// plain base+rep would hand adjacent replications nearly identical
-// rand.Source states.
+// seed. It delegates to search.RepSeed — the project's single documented
+// derivation (a splitmix64 finalizer) — so calibration campaigns and every
+// other derived stream agree on how seeds split. Derived streams are
+// deterministic, order-independent (replication 7 gets the same seed
+// whether it runs first or last, serially or on any worker) and well
+// de-correlated — a plain base+rep would hand adjacent replications nearly
+// identical rand.Source states.
 func repSeed(base int64, rep int) int64 {
-	x := uint64(base) + (uint64(rep)+1)*0x9E3779B97F4A7C15
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return int64(x)
+	return search.RepSeed(base, rep)
 }

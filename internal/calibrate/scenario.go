@@ -7,6 +7,7 @@ import (
 	"optassign/internal/evt"
 	"optassign/internal/netdps"
 	"optassign/internal/netgen"
+	"optassign/internal/t2"
 )
 
 // Scenario is a named calibration setup: a population plus the sample size
@@ -62,6 +63,44 @@ func BuiltinScenario(name string) (Scenario, error) {
 	default:
 		return Scenario{}, fmt.Errorf("calibrate: unknown scenario %q (have gpd, mixture, discrete)", name)
 	}
+}
+
+// BuiltinSearchStudy pins the head-to-head strategy study cmd/calibrate's
+// "search" scenario and the CI strategy gates share: efficiency on the
+// Figure 1 discrete population (promise 4%, Ninit 500, budget 6000, 150
+// campaigns per strategy) and coverage on a continuous hash-GPD landscape
+// over 8-task T2 assignments (300 replications, 2000 tail points each).
+// The 8-task space matters: its ~74k canonical classes exceed the
+// stratified strategy's enumeration cap, so stratified is exercised in
+// rejection mode, where its draws are genuinely i.i.d. — on a small
+// enumerable space its per-pass class sweep is a fixed value set and
+// coverage against a continuous truth is not meaningful.
+func BuiltinSearchStudy() (SearchStudyConfig, *DiscretePopulation, AssignPop, error) {
+	pop, err := builtinDiscrete()
+	if err != nil {
+		return SearchStudyConfig{}, nil, nil, err
+	}
+	cfg := SearchStudyConfig{
+		Iter: IterConfig{
+			Replications:  150,
+			Seed:          7,
+			AcceptLossPct: 4,
+			MaxSamples:    6000,
+		},
+		Coverage: SearchCoverageConfig{
+			Replications: 300,
+			TailN:        2000,
+			Seed:         7,
+		},
+	}
+	cfg.Coverage.POT.Threshold.MaxExceedFraction = 0.10
+	cov := HashGPDPopulation{
+		TopoT:  t2.UltraSPARCT2(),
+		TasksN: 8,
+		Loc:    100,
+		Tail:   evt.GPD{Xi: -0.3, Sigma: 30},
+	}
+	return cfg, pop, cov, nil
 }
 
 // builtinDiscrete builds the Figure 1-style population: 2 instances of

@@ -31,6 +31,15 @@ type JournalHeader struct {
 	Topo      t2.Topology `json:"topology"`
 	Tasks     int         `json:"tasks"`
 	Seed      int64       `json:"seed,omitempty"`
+	// Strategy is the search strategy's canonical spec (search.Spec):
+	// name plus sorted parameters, e.g. "greedy(explore=0.1,init=200)".
+	// The draw sequence is a deterministic function of (seed, strategy,
+	// outcomes), so resuming under a different strategy would diverge
+	// from the journaled draws — ResumeJournal refuses the mismatch. The
+	// uniform baseline's spec is the empty string, which omitempty elides:
+	// journals written before strategies existed parse as uniform and
+	// uniform journals stay byte-identical to the historical format.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // JournalEntry is one completed measurement attempt: a performance for a
@@ -141,6 +150,10 @@ func ResumeJournal(path string, h JournalHeader) (*Journal, *JournalState, error
 	}
 	if st.Header.Benchmark != "" && h.Benchmark != "" && st.Header.Benchmark != h.Benchmark {
 		return nil, nil, fmt.Errorf("campaign: journal benchmark %q does not match %q", st.Header.Benchmark, h.Benchmark)
+	}
+	if st.Header.Strategy != h.Strategy {
+		return nil, nil, fmt.Errorf("campaign: journal strategy %q does not match campaign strategy %q (resume would draw different assignments)",
+			st.Header.Strategy, h.Strategy)
 	}
 	if st.Truncated {
 		// The crash left a partial final line; cut it off so the next
@@ -278,6 +291,10 @@ type JournalState struct {
 	Results []core.SampleResult
 	// Quarantined counts the journaled failures.
 	Quarantined int
+	// Log is every journaled draw in draw order, successes and
+	// quarantines alike — core.IterConfig.ResumeLog. Outcome-driven
+	// search strategies replay it to rebuild their state on resume.
+	Log []core.ResumeDraw
 	// Draws is the total number of assignment draws the journaled run
 	// consumed (successes + quarantines) — core.IterConfig.ResumeDraws.
 	Draws int
@@ -329,14 +346,16 @@ func LoadJournal(path string) (*JournalState, error) {
 			return nil, fmt.Errorf("campaign: journal entry %d: sequence %d, want %d", i+1, e.Seq, st.Draws+1)
 		}
 		st.Draws = e.Seq
-		if e.Error != "" {
-			st.Quarantined++
-			continue
-		}
 		a := assign.Assignment{Topo: st.Header.Topo, Ctx: e.Ctx}
 		if err := a.Validate(); err != nil {
 			return nil, fmt.Errorf("campaign: journal entry %d: %w", i+1, err)
 		}
+		if e.Error != "" {
+			st.Quarantined++
+			st.Log = append(st.Log, core.ResumeDraw{Assignment: a, Quarantined: true})
+			continue
+		}
+		st.Log = append(st.Log, core.ResumeDraw{Assignment: a, Perf: e.Perf})
 		st.Results = append(st.Results, core.SampleResult{Assignment: a, Perf: e.Perf})
 	}
 	return st, nil

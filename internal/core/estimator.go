@@ -36,6 +36,17 @@ type Estimate struct {
 // likelihood, and estimate the optimal system performance with a
 // (1−opts.Alpha) confidence interval.
 func EstimateOptimal(perfs []float64, opts evt.POTOptions) (Estimate, error) {
+	return EstimateOptimalAgainst(perfs, math.NaN(), opts)
+}
+
+// EstimateOptimalAgainst is EstimateOptimal with the headroom computed
+// against an explicitly supplied best observed performance instead of the
+// fit sample's maximum. Adaptive search strategies need the split: their
+// tail-eligible draws form the i.i.d. sample the GPD is fitted to, while
+// the campaign's best assignment may come from exploration draws excluded
+// from that sample. A NaN best (or one equal to the sample maximum)
+// reduces exactly to EstimateOptimal.
+func EstimateOptimalAgainst(perfs []float64, best float64, opts evt.POTOptions) (Estimate, error) {
 	rep, err := evt.Analyze(perfs, opts)
 	if err != nil {
 		return Estimate{}, err
@@ -48,6 +59,13 @@ func EstimateOptimal(perfs []float64, opts evt.POTOptions) (Estimate, error) {
 		BestObserved:  rep.BestObs,
 		HeadroomPct:   rep.HeadroomPct,
 		HeadroomHiPct: 100,
+	}
+	if !math.IsNaN(best) && best != rep.BestObs {
+		est.BestObserved = best
+		est.HeadroomPct = 0
+		if est.Optimal > 0 {
+			est.HeadroomPct = (est.Optimal - best) / est.Optimal * 100
+		}
 	}
 	if !math.IsInf(est.Hi, 1) && est.Hi > 0 {
 		est.HeadroomHiPct = (est.Hi - est.BestObserved) / est.Hi * 100

@@ -9,6 +9,7 @@ import (
 	"optassign/internal/assign"
 	"optassign/internal/evt"
 	"optassign/internal/obs"
+	"optassign/internal/search"
 	"optassign/internal/t2"
 )
 
@@ -30,22 +31,42 @@ type IterConfig struct {
 	MaxSamples int
 	// POT configures the estimator (threshold rule and confidence level).
 	POT evt.POTOptions
-	// Seed makes the sampled assignments reproducible.
+	// Seed makes the sampled assignments reproducible. The draw stream
+	// deliberately seeds its RNG with this raw value — the journal header
+	// records it and resumable journals pin the historical stream; every
+	// *derived* stream in the project goes through search.RepSeed instead.
 	Seed int64
+	// Strategy generates the campaign's draws. nil runs the paper's
+	// uniform baseline (search.Uniform), whose draw stream — and therefore
+	// whose journals — are byte-identical to the historical
+	// assign.Sample-based loop. A strategy with TailSafe() == false runs
+	// without the EVT stopping rule: the campaign hunts a good assignment
+	// until MaxSamples and always ends in ErrBudgetExhausted.
+	Strategy search.Strategy
 	// Resume seeds the algorithm with measurements recovered from an
 	// interrupted campaign (e.g. a write-ahead journal, see
 	// internal/campaign). They count toward Ninit and MaxSamples, so a
 	// resumed run re-measures nothing it already has.
 	Resume []SampleResult
 	// ResumeDraws is the number of random-assignment draws the resumed
-	// campaign had already consumed — measured plus quarantined. The RNG
-	// is fast-forwarded by this many draws so that, given the same Seed,
-	// a resumed campaign continues the exact assignment sequence the
-	// interrupted one was executing, and the ResumeDraws-len(Resume)
-	// quarantined prefix draws keep counting toward Ninit and MaxSamples,
-	// so the resumed draw schedule matches the uninterrupted one exactly.
-	// 0 defaults to len(Resume).
+	// campaign had already consumed — measured plus quarantined. The
+	// resumed campaign replays this many draws through the strategy so
+	// that, given the same Seed, it continues the exact assignment
+	// sequence the interrupted one was executing, and the
+	// ResumeDraws-len(Resume) quarantined prefix draws keep counting
+	// toward Ninit and MaxSamples, so the resumed draw and estimation
+	// schedule matches the uninterrupted one exactly. 0 defaults to
+	// len(Resume).
 	ResumeDraws int
+	// ResumeLog is the interrupted campaign's full per-draw outcome log in
+	// draw order (campaign.JournalState.Log). Outcome-driven strategies
+	// need it: replaying the outcomes through the strategy regenerates its
+	// internal state, and each replayed draw is verified against the
+	// journaled assignment — a mismatch means the journal was produced by
+	// a different strategy, seed or configuration. Optional for the
+	// uniform baseline (the historical RNG fast-forward suffices);
+	// required by every other strategy when ResumeDraws > 0.
+	ResumeLog []ResumeDraw
 	// Events receives one "round" event per estimation round (§5.3
 	// Fig. 13 iteration): sample sizes, the best observed performance,
 	// ÛPB with its confidence interval, and the convergence gap. This is
@@ -55,6 +76,18 @@ type IterConfig struct {
 	// nil disables. Neither hook influences the campaign: draws, RNG
 	// consumption and results are identical with observability on or off.
 	Metrics *IterMetrics
+	// SearchMetrics counts draws, exploration draws and best-improvements,
+	// labeled by strategy. nil disables; never influences the campaign.
+	SearchMetrics *search.Metrics
+}
+
+// ResumeDraw is one journaled draw of an interrupted campaign: the
+// assignment, and either its measured performance or the fact it was
+// quarantined.
+type ResumeDraw struct {
+	Assignment  assign.Assignment
+	Perf        float64
+	Quarantined bool
 }
 
 func (c IterConfig) withDefaults() IterConfig {
@@ -124,6 +157,11 @@ var ErrBudgetExhausted = errors.New("core: sample budget exhausted before reachi
 // Larger samples both raise the chance of capturing a top assignment
 // (§3.1) and tighten the estimate (§5.2), so the loop converges from both
 // sides.
+//
+// With cfg.Strategy set, "random" in Steps 1 and 4 becomes whatever the
+// strategy proposes; the estimate in Step 2 is fitted to the strategy's
+// tail-eligible draws only, while Step 3 compares against the best
+// assignment observed anywhere.
 func Iterate(cfg IterConfig, runner Runner) (IterResult, error) {
 	return IterateContext(context.Background(), cfg, AsContextRunner(runner))
 }
@@ -134,28 +172,36 @@ func Iterate(cfg IterConfig, runner Runner) (IterResult, error) {
 // assignments are skipped rather than fatal, and cfg.Resume restarts an
 // interrupted campaign from its checkpoint instead of from zero.
 func IterateContext(ctx context.Context, cfg IterConfig, runner ContextRunner) (IterResult, error) {
-	return iterate(ctx, cfg, func(ctx context.Context, rng *rand.Rand, add int) ([]SampleResult, []Skipped, error) {
-		return CollectSampleContext(ctx, rng, cfg.Topo, cfg.Tasks, add, runner)
+	if runner == nil {
+		return IterResult{}, fmt.Errorf("core: nil runner")
+	}
+	return iterate(ctx, cfg, func(ctx context.Context, as []assign.Assignment) ([]outcome, error) {
+		return measureSerial(ctx, runner, as)
 	})
 }
 
-// collector gathers `add` fresh draws from rng — serially
-// (CollectSampleContext) or fanned out (CollectSampleParallel). Both
-// consume rng identically, so the iterate loop below is oblivious to which
-// one drives it.
-type collector func(ctx context.Context, rng *rand.Rand, add int) ([]SampleResult, []Skipped, error)
-
 // iterate is the shared §5.3 loop behind IterateContext and
-// IterateParallel.
-func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterResult, error) {
+// IterateParallel: the strategy draws each batch serially from the
+// campaign RNG, the measurer executes it (serially or fanned out — both
+// produce the identical in-order outcome stream), and completed batches
+// are committed to the search history as units.
+func iterate(ctx context.Context, cfg IterConfig, measure measurer) (IterResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.AcceptLossPct <= 0 {
 		return IterResult{}, fmt.Errorf("core: acceptable loss must be positive, got %v", cfg.AcceptLossPct)
 	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = search.Uniform{}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	hist := search.NewHistory(cfg.Topo, cfg.Tasks)
 
 	results := append([]SampleResult(nil), cfg.Resume...)
 	var res IterResult
+	// tailPerfs is the estimator's sample: successful, non-Explore draws.
+	// For the uniform baseline it is exactly Perfs(results).
+	var tailPerfs []float64
 	// priorQuarantined is the count of resumed-prefix draws that were
 	// quarantined rather than measured (ResumeDraws minus the recovered
 	// results). They are gone — the journal keeps only their failure
@@ -168,41 +214,88 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 		if q := draws - len(cfg.Resume); q > 0 {
 			priorQuarantined = q
 		}
-		// Fast-forward the RNG past the draws the interrupted campaign
-		// already consumed: with the same Seed, the resumed campaign
-		// continues the identical assignment sequence.
-		if _, err := assign.Sample(rng, cfg.Topo, cfg.Tasks, draws); err != nil {
-			return IterResult{}, fmt.Errorf("core: resume fast-forward: %w", err)
+		var err error
+		tailPerfs, err = replayResume(cfg, strategy, rng, hist, draws)
+		if err != nil {
+			return IterResult{}, err
 		}
 	}
-	// collect measures `add` fresh draws, accumulating quarantines.
-	// lastAdded feeds the round event: Ninit on the first round, Ndelta
-	// (or the budget remainder) afterwards.
+	sm := cfg.SearchMetrics
+	bestPerf, haveBest := 0.0, false
+	if i := Best(results); i >= 0 {
+		bestPerf, haveBest = results[i].Perf, true
+	}
+	drawn := func() int { return len(results) + len(res.Quarantined) + priorQuarantined }
+
+	// collect draws and measures `add` fresh assignments as one batch,
+	// committing it to the history when complete. lastAdded feeds the
+	// round event: Ninit on the first round, Ndelta (or the budget
+	// remainder) afterwards.
 	lastAdded := 0
 	collect := func(add int) error {
-		more, skipped, err := collectFresh(ctx, rng, add)
-		results = append(results, more...)
-		res.Quarantined = append(res.Quarantined, skipped...)
+		batch := make([]assign.Assignment, 0, add)
+		explore := make([]bool, 0, add)
+		base := hist.Len()
+		for i := 0; i < add; i++ {
+			d, err := strategy.Next(rng, hist)
+			if err != nil {
+				return fmt.Errorf("core: strategy %s: %w", strategy.Name(), err)
+			}
+			hist.Push(d)
+			batch = append(batch, d.Assignment)
+			explore = append(explore, d.Explore)
+			if sm != nil {
+				sm.Draws.Inc()
+				if d.Explore {
+					sm.Explore.Inc()
+				}
+			}
+		}
+		outs, err := measure(ctx, batch)
+		for i, o := range outs {
+			hist.Resolve(base+i, o.perf, o.quarantined)
+			if o.quarantined {
+				res.Quarantined = append(res.Quarantined, Skipped{Assignment: batch[i], Err: o.err})
+				continue
+			}
+			results = append(results, SampleResult{Assignment: batch[i], Perf: o.perf})
+			if !explore[i] {
+				tailPerfs = append(tailPerfs, o.perf)
+			}
+			if !haveBest || o.perf > bestPerf {
+				bestPerf, haveBest = o.perf, true
+				if sm != nil {
+					sm.Improved.Inc()
+				}
+			}
+		}
+		hist.Commit()
 		lastAdded = add
 		return err
 	}
-	if need := cfg.Ninit - len(results) - priorQuarantined; need > 0 {
-		if err := collect(need); err != nil {
-			res.Samples = len(results)
-			if len(results) > 0 {
-				res.Best = results[Best(results)]
-			}
-			return res, err
-		}
-	}
+
+	// fitAt walks the estimation schedule: Ninit, then +Ndelta per round,
+	// with a final clamped fit at MaxSamples. A resumed campaign starts at
+	// the first scheduled point not yet passed, so its batch boundaries —
+	// and therefore the outcomes each strategy draw can see — line up with
+	// the uninterrupted run's no matter where the interruption fell.
+	fitAt := nextFitPoint(cfg, drawn())
 	round := 0
 	for {
+		if add := fitAt - drawn(); add > 0 {
+			if err := collect(add); err != nil {
+				res.Samples = len(results)
+				if len(results) > 0 {
+					res.Best = results[Best(results)]
+				}
+				return res, err
+			}
+		}
 		res.Samples = len(results)
 		if len(results) == 0 {
 			return res, fmt.Errorf("core: every assignment of the initial sample was quarantined: %w", ErrQuarantined)
 		}
 		res.Best = results[Best(results)]
-		est, err := EstimateOptimal(Perfs(results), cfg.POT)
 		round++
 		if m := cfg.Metrics; m != nil {
 			m.Rounds.Inc()
@@ -210,11 +303,9 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 			m.Quarantined.Set(float64(len(res.Quarantined)))
 			m.BestObserved.Set(res.Best.Perf)
 		}
-		switch {
-		case errors.Is(err, evt.ErrUnboundedTail):
-			// The sample's tail is not yet distinguishable from an
-			// unbounded one (ξ̂ >= 0), so the optimum cannot be bounded.
-			// More observations sharpen the tail; keep sampling.
+		if !strategy.TailSafe() {
+			// No i.i.d. tail exists, so no estimate and no stopping rule:
+			// the campaign hunts until the budget runs out.
 			if cfg.Events != nil {
 				cfg.Events.Emit(obs.Event{Name: "round", Fields: []obs.Field{
 					{Key: "round", Value: round},
@@ -222,68 +313,189 @@ func iterate(ctx context.Context, cfg IterConfig, collectFresh collector) (IterR
 					{Key: "quarantined", Value: len(res.Quarantined)},
 					{Key: "added", Value: lastAdded},
 					{Key: "best", Value: res.Best.Perf},
-					{Key: "tail_unbounded", Value: true},
+					{Key: "tail_unsafe", Value: true},
 				}})
 			}
-		case err != nil:
-			return res, fmt.Errorf("core: estimation at %d samples: %w", len(results), err)
-		default:
-			res.Final = est
-			res.History = append(res.History, IterStep{Samples: len(results), Estimate: est})
-			// Threshold on the conservative headroom: the requirement is
-			// met only when even the 0.95-confidence upper bound on the
-			// optimum is within the acceptable loss of the best observed
-			// assignment.
-			satisfied := est.HeadroomHiPct <= cfg.AcceptLossPct
-			if m := cfg.Metrics; m != nil {
-				m.UPB.Set(est.Optimal)
-				m.UPBLo.Set(est.Lo)
-				m.UPBHi.Set(est.Hi)
-				m.HeadroomHiPct.Set(est.HeadroomHiPct)
-				if satisfied {
-					m.Satisfied.Set(1)
+		} else {
+			est, err := EstimateOptimalAgainst(tailPerfs, res.Best.Perf, cfg.POT)
+			switch {
+			case errors.Is(err, evt.ErrUnboundedTail):
+				// The sample's tail is not yet distinguishable from an
+				// unbounded one (ξ̂ >= 0), so the optimum cannot be bounded.
+				// More observations sharpen the tail; keep sampling.
+				if cfg.Events != nil {
+					cfg.Events.Emit(obs.Event{Name: "round", Fields: []obs.Field{
+						{Key: "round", Value: round},
+						{Key: "samples", Value: len(results)},
+						{Key: "quarantined", Value: len(res.Quarantined)},
+						{Key: "added", Value: lastAdded},
+						{Key: "best", Value: res.Best.Perf},
+						{Key: "tail_unbounded", Value: true},
+					}})
 				}
-			}
-			if cfg.Events != nil {
-				cfg.Events.Emit(obs.Event{Name: "round", Fields: []obs.Field{
-					{Key: "round", Value: round},
-					{Key: "samples", Value: len(results)},
-					{Key: "quarantined", Value: len(res.Quarantined)},
-					{Key: "added", Value: lastAdded},
-					{Key: "best", Value: res.Best.Perf},
-					{Key: "upb", Value: est.Optimal},
-					{Key: "upb_lo", Value: est.Lo},
-					{Key: "upb_hi", Value: est.Hi},
-					{Key: "headroom_hi_pct", Value: est.HeadroomHiPct},
-					{Key: "satisfied", Value: satisfied},
-				}})
-			}
-			if satisfied {
-				res.Satisfied = true
-				return res, nil
+			case err != nil:
+				return res, fmt.Errorf("core: estimation at %d samples: %w", len(results), err)
+			default:
+				res.Final = est
+				res.History = append(res.History, IterStep{Samples: len(results), Estimate: est})
+				// Threshold on the conservative headroom: the requirement is
+				// met only when even the 0.95-confidence upper bound on the
+				// optimum is within the acceptable loss of the best observed
+				// assignment.
+				satisfied := est.HeadroomHiPct <= cfg.AcceptLossPct
+				if m := cfg.Metrics; m != nil {
+					m.UPB.Set(est.Optimal)
+					m.UPBLo.Set(est.Lo)
+					m.UPBHi.Set(est.Hi)
+					m.HeadroomHiPct.Set(est.HeadroomHiPct)
+					if satisfied {
+						m.Satisfied.Set(1)
+					}
+				}
+				if cfg.Events != nil {
+					cfg.Events.Emit(obs.Event{Name: "round", Fields: []obs.Field{
+						{Key: "round", Value: round},
+						{Key: "samples", Value: len(results)},
+						{Key: "quarantined", Value: len(res.Quarantined)},
+						{Key: "added", Value: lastAdded},
+						{Key: "best", Value: res.Best.Perf},
+						{Key: "upb", Value: est.Optimal},
+						{Key: "upb_lo", Value: est.Lo},
+						{Key: "upb_hi", Value: est.Hi},
+						{Key: "headroom_hi_pct", Value: est.HeadroomHiPct},
+						{Key: "satisfied", Value: satisfied},
+					}})
+				}
+				if satisfied {
+					res.Satisfied = true
+					return res, nil
+				}
 			}
 		}
 		// Quarantined draws count against the budget too: at a 100%
 		// failure rate the loop must still terminate.
-		drawn := len(results) + len(res.Quarantined) + priorQuarantined
-		if drawn >= cfg.MaxSamples {
+		if drawn() >= cfg.MaxSamples {
 			return res, ErrBudgetExhausted
 		}
-		add := cfg.Ndelta
-		if room := cfg.MaxSamples - drawn; add > room {
-			add = room
-		}
-		if err := collect(add); err != nil {
-			res.Samples = len(results)
-			res.Best = results[Best(results)]
-			return res, err
+		fitAt += cfg.Ndelta
+		if fitAt > cfg.MaxSamples {
+			fitAt = cfg.MaxSamples
 		}
 	}
+}
+
+// nextFitPoint returns the first point of the estimation schedule
+// (Ninit, Ninit+Ndelta, ..., clamped to MaxSamples) at or beyond `drawn`
+// draws. A resumed campaign that died mid-batch finishes that batch
+// before estimating, exactly as the uninterrupted run would have; one
+// that died past the budget estimates once on what it has.
+func nextFitPoint(cfg IterConfig, drawn int) int {
+	if drawn <= cfg.Ninit {
+		return cfg.Ninit
+	}
+	k := (drawn - cfg.Ninit + cfg.Ndelta - 1) / cfg.Ndelta
+	at := cfg.Ninit + k*cfg.Ndelta
+	if at > cfg.MaxSamples {
+		at = cfg.MaxSamples
+	}
+	if at < drawn {
+		at = drawn
+	}
+	return at
+}
+
+// replayResume drives the interrupted campaign's journaled draws back
+// through the strategy: the RNG advances exactly as it did originally,
+// the strategy rebuilds its internal state from the logged outcomes, and
+// batches commit at the original estimation schedule so post-resume draws
+// see the same committed horizon they would have seen uninterrupted. Each
+// regenerated draw is checked against the journal — divergence means the
+// journal belongs to a different strategy, seed or configuration. It
+// returns the tail-eligible performance sample accumulated over the
+// replayed prefix.
+func replayResume(cfg IterConfig, strategy search.Strategy, rng *rand.Rand, hist *search.History, draws int) ([]float64, error) {
+	log := cfg.ResumeLog
+	if len(log) == 0 {
+		if _, ok := strategy.(search.Uniform); !ok {
+			return nil, fmt.Errorf("core: resuming strategy %s requires the journal draw log (ResumeLog)", strategy.Name())
+		}
+		// Historical fast path: uniform ignores outcomes, so fast-forward
+		// the RNG by the consumed draws; every recovered result is
+		// tail-eligible.
+		if _, err := assign.Sample(rng, cfg.Topo, cfg.Tasks, draws); err != nil {
+			return nil, fmt.Errorf("core: resume fast-forward: %w", err)
+		}
+		return Perfs(cfg.Resume), nil
+	}
+	if len(log) != draws {
+		return nil, fmt.Errorf("core: resume log has %d draws, ResumeDraws says %d", len(log), draws)
+	}
+	succ := 0
+	for _, d := range log {
+		if !d.Quarantined {
+			succ++
+		}
+	}
+	if succ != len(cfg.Resume) {
+		return nil, fmt.Errorf("core: resume log has %d successful draws, Resume carries %d", succ, len(cfg.Resume))
+	}
+	var tailPerfs []float64
+	for i := 0; i < draws; i++ {
+		if i > 0 && onFitSchedule(cfg, i) {
+			hist.Commit()
+		}
+		d, err := strategy.Next(rng, hist)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume replay: strategy %s: %w", strategy.Name(), err)
+		}
+		hist.Push(d)
+		if !sameCtx(d.Assignment.Ctx, log[i].Assignment.Ctx) {
+			return nil, fmt.Errorf("core: resume replay diverged at draw %d: journal has %v, strategy %s regenerated %v (journal from a different strategy, parameters or seed?)",
+				i+1, log[i].Assignment.Ctx, strategy.Name(), d.Assignment.Ctx)
+		}
+		hist.Resolve(i, log[i].Perf, log[i].Quarantined)
+		if !log[i].Quarantined && !d.Explore {
+			tailPerfs = append(tailPerfs, log[i].Perf)
+		}
+	}
+	if onFitSchedule(cfg, draws) {
+		// The interruption fell exactly on a batch boundary: the final
+		// batch completed, so its outcomes are visible.
+		hist.Commit()
+	}
+	return tailPerfs, nil
+}
+
+// onFitSchedule reports whether n draws is one of the estimation points —
+// a committed batch boundary.
+func onFitSchedule(cfg IterConfig, n int) bool {
+	if n == cfg.Ninit || n == cfg.MaxSamples {
+		return true
+	}
+	if n < cfg.Ninit || n > cfg.MaxSamples {
+		return false
+	}
+	return (n-cfg.Ninit)%cfg.Ndelta == 0
+}
+
+func sameCtx(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (c IterConfig) resumeDraws() int {
 	if c.ResumeDraws > 0 {
 		return c.ResumeDraws
+	}
+	if len(c.ResumeLog) > 0 {
+		return len(c.ResumeLog)
 	}
 	return len(c.Resume)
 }

@@ -59,6 +59,14 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 	if err != nil {
 		return nil, nil, err
 	}
+	outs, err := measureParallel(ctx, pool, as, commit)
+	results, skipped = splitOutcomes(as, outs)
+	return results, skipped, err
+}
+
+// measureParallel fans the batch out across the pool and reassembles the
+// outcomes in draw order (see CollectSampleParallel for the semantics).
+func measureParallel(ctx context.Context, pool *PoolRunner, as []assign.Assignment, commit CommitFunc) ([]outcome, error) {
 	poolCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -69,7 +77,7 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 	var finalErr error
 	m := pool.metrics
 
-	results = make([]SampleResult, 0, n)
+	outs := make([]outcome, 0, len(as))
 	for c := range pool.stream(poolCtx, as) {
 		if finalErr != nil {
 			continue // drain only; the campaign is already aborted
@@ -101,7 +109,7 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 						break
 					}
 				}
-				results = append(results, SampleResult{Assignment: a, Perf: o.Perf})
+				outs = append(outs, outcome{perf: o.Perf})
 			case errors.Is(o.Err, ErrQuarantined):
 				if commit != nil {
 					if cerr := commit(a, 0, o.Err); cerr != nil {
@@ -109,7 +117,7 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 						break
 					}
 				}
-				skipped = append(skipped, Skipped{Assignment: a, Err: o.Err})
+				outs = append(outs, outcome{quarantined: true, err: o.Err})
 			default:
 				finalErr = fmt.Errorf("core: measuring assignment: %w", o.Err)
 			}
@@ -125,7 +133,7 @@ func CollectSampleParallel(ctx context.Context, rng *rand.Rand, topo t2.Topology
 			m.ReorderDepth.Set(float64(len(pending)))
 		}
 	}
-	return results, skipped, finalErr
+	return outs, finalErr
 }
 
 // IterateParallel runs the §5.3 iterative algorithm with every sampling
@@ -138,7 +146,7 @@ func IterateParallel(ctx context.Context, cfg IterConfig, pool *PoolRunner, comm
 	if pool == nil {
 		return IterResult{}, fmt.Errorf("core: nil pool")
 	}
-	return iterate(ctx, cfg, func(ctx context.Context, rng *rand.Rand, add int) ([]SampleResult, []Skipped, error) {
-		return CollectSampleParallel(ctx, rng, cfg.Topo, cfg.Tasks, add, pool, commit)
+	return iterate(ctx, cfg, func(ctx context.Context, as []assign.Assignment) ([]outcome, error) {
+		return measureParallel(ctx, pool, as, commit)
 	})
 }

@@ -97,20 +97,59 @@ func CollectSampleContext(ctx context.Context, rng *rand.Rand, topo t2.Topology,
 	if err != nil {
 		return nil, nil, err
 	}
-	results = make([]SampleResult, 0, n)
+	outs, err := measureSerial(ctx, runner, as)
+	results, skipped = splitOutcomes(as, outs)
+	return results, skipped, err
+}
+
+// outcome is one draw's fate inside a batch measurement: a performance,
+// or a quarantine carrying its error. Fatal errors are not outcomes —
+// they abort the batch.
+type outcome struct {
+	perf        float64
+	quarantined bool
+	err         error
+}
+
+// measurer executes a batch of already-drawn assignments and returns
+// their outcomes in draw order. On a fatal error it returns the outcomes
+// of the draws completed (and committed) before the failure alongside the
+// error, exactly like the historical collectors. The serial and parallel
+// measurers are interchangeable: same inputs, same outcomes, same commit
+// order.
+type measurer func(ctx context.Context, as []assign.Assignment) ([]outcome, error)
+
+// measureSerial measures the batch one assignment at a time under ctx,
+// degrading gracefully on quarantines.
+func measureSerial(ctx context.Context, runner ContextRunner, as []assign.Assignment) ([]outcome, error) {
+	outs := make([]outcome, 0, len(as))
 	for _, a := range as {
 		if err := ctx.Err(); err != nil {
-			return results, skipped, err
+			return outs, err
 		}
 		perf, err := runner.MeasureContext(ctx, a)
 		switch {
 		case err == nil:
-			results = append(results, SampleResult{Assignment: a, Perf: perf})
+			outs = append(outs, outcome{perf: perf})
 		case errors.Is(err, ErrQuarantined):
-			skipped = append(skipped, Skipped{Assignment: a, Err: err})
+			outs = append(outs, outcome{quarantined: true, err: err})
 		default:
-			return results, skipped, fmt.Errorf("core: measuring assignment: %w", err)
+			return outs, fmt.Errorf("core: measuring assignment: %w", err)
 		}
 	}
-	return results, skipped, nil
+	return outs, nil
+}
+
+// splitOutcomes reassembles a batch's outcomes into the historical
+// results/skipped pair.
+func splitOutcomes(as []assign.Assignment, outs []outcome) (results []SampleResult, skipped []Skipped) {
+	results = make([]SampleResult, 0, len(as))
+	for i, o := range outs {
+		if o.quarantined {
+			skipped = append(skipped, Skipped{Assignment: as[i], Err: o.err})
+		} else {
+			results = append(results, SampleResult{Assignment: as[i], Perf: o.perf})
+		}
+	}
+	return results, skipped
 }

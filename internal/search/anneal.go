@@ -1,0 +1,110 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Anneal is simulated annealing over the assignment space: after a short
+// uniform phase seeds an incumbent, every draw proposes a neighbor of the
+// incumbent, and newly committed outcomes move the incumbent by the
+// Metropolis rule under a deterministic temperature schedule
+//
+//	T(k) = t0 · decay^k        (k = draws past the init phase),
+//
+// with the acceptance scale relative to the incumbent's magnitude so one
+// t0 works across benchmarks. The schedule and every acceptance decision
+// are functions of the campaign seed and the committed outcomes alone, so
+// annealed campaigns journal and resume like any other.
+//
+// Anneal is NOT TailSafe: past the init phase its draw distribution
+// chases the incumbent, so no i.i.d. tail sample exists and the engine
+// runs the campaign to its sample budget instead of the EVT stopping
+// rule. Use it to hunt a good assignment under a fixed budget, not to
+// certify one.
+type Anneal struct {
+	init  int
+	t0    float64
+	decay float64
+	m     *Metrics
+
+	processed int
+	curSet    bool
+	cur       Entry
+}
+
+func newAnneal(p Params, m *Metrics) (*Anneal, error) {
+	if err := rejectUnknown(p, "anneal", "init", "t0", "decay"); err != nil {
+		return nil, err
+	}
+	init, err := paramInt(p, "init", 100, 1)
+	if err != nil {
+		return nil, err
+	}
+	t0 := 0.05
+	if v, ok := p["t0"]; ok {
+		if v <= 0 {
+			return nil, fmt.Errorf("search: anneal temperature t0 must be positive, got %v", v)
+		}
+		t0 = v
+	}
+	decay := 0.999
+	if v, ok := p["decay"]; ok {
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("search: anneal decay must be in (0,1], got %v", v)
+		}
+		decay = v
+	}
+	return &Anneal{init: init, t0: t0, decay: decay, m: m}, nil
+}
+
+// Name implements Strategy.
+func (a *Anneal) Name() string { return "anneal" }
+
+// TailSafe implements Strategy.
+func (a *Anneal) TailSafe() bool { return false }
+
+// Next implements Strategy.
+func (a *Anneal) Next(rng *rand.Rand, h *History) (Draw, error) {
+	// Fold newly committed outcomes into the incumbent, in draw order.
+	// Each downhill candidate consumes exactly one variate, so the
+	// consumption is a function of the committed outcome sequence —
+	// deterministic under replay.
+	for c := h.Committed(); a.processed < c; a.processed++ {
+		e := h.At(a.processed)
+		if !e.Measured || e.Quarantined {
+			continue
+		}
+		if !a.curSet || e.Perf >= a.cur.Perf {
+			a.cur, a.curSet = e, true
+			if a.m != nil {
+				a.m.Accepted.Inc()
+			}
+			continue
+		}
+		k := a.processed - a.init
+		if k < 0 {
+			k = 0
+		}
+		t := a.t0 * math.Pow(a.decay, float64(k))
+		scale := math.Abs(a.cur.Perf)
+		if scale < 1 {
+			scale = 1
+		}
+		if rng.Float64() < math.Exp((e.Perf-a.cur.Perf)/(t*scale)) {
+			a.cur, a.curSet = e, true
+			if a.m != nil {
+				a.m.Accepted.Inc()
+			}
+		}
+	}
+	if h.Len() < a.init || !a.curSet {
+		u, err := uniformDraw(rng, h)
+		if err != nil {
+			return Draw{}, err
+		}
+		return Draw{Assignment: u}, nil
+	}
+	return Draw{Assignment: neighbor(rng, a.cur.Assignment), Explore: true}, nil
+}

@@ -1,0 +1,66 @@
+package search
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzStrategyParams feeds arbitrary strategy names and parameter strings
+// through the full ParseParams → New → Spec path: nothing may panic,
+// invalid configurations (NaN or infinite values, negative temperatures,
+// unknown keys, malformed syntax) must come back as errors, and anything
+// accepted must round-trip through the canonical Spec rendering.
+func FuzzStrategyParams(f *testing.F) {
+	f.Add("uniform", "")
+	f.Add("stratified", "classes=100,retries=4")
+	f.Add("greedy", "init=50,explore=0.2")
+	f.Add("anneal", "t0=0.01,decay=0.99")
+	f.Add("anneal", "t0=NaN")
+	f.Add("anneal", "t0=-1")
+	f.Add("greedy", "explore=1.5")
+	f.Add("stratified", "classes=0.5")
+	f.Add("greedy", "temperature=3")
+	f.Add("bogus", "a=1")
+	f.Add("uniform", "a=1,a=2")
+	f.Add("anneal", "=,=")
+	f.Fuzz(func(t *testing.T, name, raw string) {
+		p, err := ParseParams(raw)
+		if err != nil {
+			return
+		}
+		for k, v := range p {
+			if k == "" {
+				t.Fatalf("ParseParams(%q) accepted an empty key", raw)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseParams(%q) accepted non-finite %s=%v", raw, k, v)
+			}
+		}
+		s, err := New(name, p, nil)
+		if err != nil {
+			return
+		}
+		known := false
+		for _, n := range Names {
+			if name == n || name == "" {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.Fatalf("New accepted unknown strategy %q", name)
+		}
+		if s.Name() == "" {
+			t.Fatalf("strategy %q has an empty Name", name)
+		}
+		// Anything constructible must render a stable canonical spec.
+		spec := Spec(name, p)
+		if spec != Spec(name, p) {
+			t.Fatalf("Spec(%q, %v) is not stable", name, p)
+		}
+		if len(p) > 0 && !strings.Contains(spec, "=") {
+			t.Fatalf("Spec(%q, %v) dropped parameters: %q", name, p, spec)
+		}
+	})
+}

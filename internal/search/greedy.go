@@ -1,0 +1,71 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Greedy is AMTHA-style hill climbing grafted onto the statistical
+// method: an initial uniform phase seeds the tail fit and locates a
+// promising region, then the budget shifts to local moves around the
+// best committed assignment. Climbing draws are marked Explore — they
+// are adaptive, not i.i.d., so they may win the campaign but never feed
+// the EVT fit. A deterministic fraction of post-init draws stays uniform
+// (and tail-eligible), so the fit keeps sharpening while the climber
+// exploits: the strategy as a whole remains TailSafe because everything
+// it feeds the fit is exactly a uniform draw.
+type Greedy struct {
+	init   int // uniform draws before climbing starts
+	period int // every period-th post-init draw is uniform (0 disables)
+}
+
+func newGreedy(p Params) (*Greedy, error) {
+	if err := rejectUnknown(p, "greedy", "init", "explore"); err != nil {
+		return nil, err
+	}
+	init, err := paramInt(p, "init", 200, 1)
+	if err != nil {
+		return nil, err
+	}
+	frac := 0.1
+	if v, ok := p["explore"]; ok {
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("search: greedy explore fraction must be in [0,1), got %v", v)
+		}
+		frac = v
+	}
+	period := 0
+	if frac > 0 {
+		period = int(math.Round(1 / frac))
+	}
+	return &Greedy{init: init, period: period}, nil
+}
+
+// Name implements Strategy.
+func (g *Greedy) Name() string { return "greedy" }
+
+// TailSafe implements Strategy: every tail-eligible draw Greedy emits is
+// a plain uniform draw; the adaptive ones carry Explore.
+func (g *Greedy) TailSafe() bool { return true }
+
+// Next implements Strategy.
+func (g *Greedy) Next(rng *rand.Rand, h *History) (Draw, error) {
+	i := h.Len()
+	uniform := i < g.init
+	if !uniform && g.period > 0 && (i-g.init)%g.period == 0 {
+		uniform = true
+	}
+	if !uniform {
+		if best, ok := h.Best(); ok {
+			return Draw{Assignment: neighbor(rng, best.Assignment), Explore: true}, nil
+		}
+		// Nothing committed yet (the whole init phase may still be in
+		// flight): fall back to a uniform, tail-eligible draw.
+	}
+	a, err := uniformDraw(rng, h)
+	if err != nil {
+		return Draw{}, err
+	}
+	return Draw{Assignment: a}, nil
+}

@@ -1,0 +1,109 @@
+package search
+
+import (
+	"optassign/internal/assign"
+	"optassign/internal/t2"
+)
+
+// Entry is one draw of the running campaign together with its outcome,
+// once known.
+type Entry struct {
+	Assignment assign.Assignment
+	// Explore mirrors the Draw's flag: excluded from the EVT tail fit.
+	Explore bool
+	// Measured reports that the draw's outcome (a performance or a
+	// quarantine) is known.
+	Measured bool
+	// Quarantined reports that the draw was abandoned by a resilient
+	// runner; Perf is meaningless then.
+	Quarantined bool
+	Perf        float64
+}
+
+// History is the campaign record a Strategy draws against: every draw so
+// far, with outcomes revealed batch by batch.
+//
+// The committed horizon is the determinism backbone: outcomes become
+// visible to Next only when the engine commits a completed batch, so the
+// draw sequence depends on (seed, batch schedule, committed outcomes) and
+// on nothing else — not on measurement interleaving, worker count, or
+// where a crash split a batch. A resumed campaign replays the journaled
+// outcomes through the same strategy with the same commit points and
+// regenerates the identical sequence.
+//
+// History is mutated by the engine only (Push/Resolve/Commit); strategies
+// must treat it as read-only.
+type History struct {
+	topo      t2.Topology
+	tasks     int
+	entries   []Entry
+	committed int
+	// bestIdx is the index of the best committed successful entry, -1
+	// until one exists. Maintained at commit time so Best is O(1) and
+	// deterministic (first maximum wins).
+	bestIdx int
+}
+
+// NewHistory starts an empty record for a campaign drawing `tasks` tasks
+// on topo.
+func NewHistory(topo t2.Topology, tasks int) *History {
+	return &History{topo: topo, tasks: tasks, bestIdx: -1}
+}
+
+// Topo returns the campaign's topology.
+func (h *History) Topo() t2.Topology { return h.topo }
+
+// Tasks returns the campaign's task count.
+func (h *History) Tasks() int { return h.tasks }
+
+// Len is the total number of draws pushed, measured or not. By the engine
+// contract, Next for draw i runs when Len() == i — strategies use it as
+// the current draw index.
+func (h *History) Len() int { return len(h.entries) }
+
+// Committed is the visibility horizon: entries[0:Committed()] have final,
+// visible outcomes.
+func (h *History) Committed() int { return h.committed }
+
+// At returns entry i. Strategies should only inspect i < Committed();
+// later entries exist but their outcomes are not yet settled.
+func (h *History) At(i int) Entry { return h.entries[i] }
+
+// Best returns the best committed successful entry, if any.
+func (h *History) Best() (Entry, bool) {
+	if h.bestIdx < 0 {
+		return Entry{}, false
+	}
+	return h.entries[h.bestIdx], true
+}
+
+// Push appends a new, unmeasured draw and returns its index.
+func (h *History) Push(d Draw) int {
+	h.entries = append(h.entries, Entry{Assignment: d.Assignment, Explore: d.Explore})
+	return len(h.entries) - 1
+}
+
+// Resolve records draw i's outcome. The outcome stays invisible to
+// strategies until the batch containing i is committed.
+func (h *History) Resolve(i int, perf float64, quarantined bool) {
+	e := &h.entries[i]
+	e.Measured = true
+	e.Quarantined = quarantined
+	if !quarantined {
+		e.Perf = perf
+	}
+}
+
+// Commit advances the visibility horizon over every pushed entry — the
+// engine calls it once per completed batch.
+func (h *History) Commit() {
+	for ; h.committed < len(h.entries); h.committed++ {
+		e := h.entries[h.committed]
+		if !e.Measured || e.Quarantined {
+			continue
+		}
+		if h.bestIdx < 0 || e.Perf > h.entries[h.bestIdx].Perf {
+			h.bestIdx = h.committed
+		}
+	}
+}

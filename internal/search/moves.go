@@ -1,0 +1,64 @@
+package search
+
+import (
+	"math/rand"
+
+	"optassign/internal/assign"
+)
+
+// uniformDraw draws one i.i.d. uniform assignment with the same
+// generator-selection rule as assign.Sample, so a stream of uniformDraw
+// calls consumes the RNG identically to one assign.Sample call for the
+// same count.
+func uniformDraw(rng *rand.Rand, h *History) (assign.Assignment, error) {
+	gen := assign.Random
+	if v := h.topo.Contexts(); v > 0 && h.tasks*2 > v {
+		gen = assign.RandomPermutation
+	}
+	return gen(rng, h.topo, h.tasks)
+}
+
+// neighbor proposes a local move from base: either relocate one task to a
+// free context or swap two tasks' contexts, each feasible by
+// construction. Both move kinds matter — relocation explores new context
+// sets, swapping explores task-role placements within one set (tasks are
+// not interchangeable; the canonical classes quotient only hardware
+// symmetry).
+func neighbor(rng *rand.Rand, base assign.Assignment) assign.Assignment {
+	ctx := append([]int(nil), base.Ctx...)
+	v := base.Topo.Contexts()
+	canMove := len(ctx) < v
+	canSwap := len(ctx) >= 2
+	move := canMove
+	if canMove && canSwap {
+		move = rng.Intn(2) == 0
+	}
+	switch {
+	case move:
+		t := 0
+		if len(ctx) > 1 {
+			t = rng.Intn(len(ctx))
+		}
+		used := make([]bool, v)
+		for _, c := range ctx {
+			used[c] = true
+		}
+		for {
+			c := rng.Intn(v)
+			if !used[c] {
+				ctx[t] = c
+				break
+			}
+		}
+	case canSwap:
+		i := rng.Intn(len(ctx))
+		j := rng.Intn(len(ctx) - 1)
+		if j >= i {
+			j++
+		}
+		ctx[i], ctx[j] = ctx[j], ctx[i]
+	}
+	// A full machine with a single task has no move at all; the copy of
+	// base is the only legal "neighbor".
+	return assign.Assignment{Topo: base.Topo, Ctx: ctx}
+}

@@ -1,0 +1,378 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"optassign/internal/assign"
+	"optassign/internal/t2"
+)
+
+// smallTopo is a 1×2×2 machine (4 contexts) — small enough to enumerate
+// canonical classes exhaustively in the coverage property.
+var smallTopo = t2.Topology{Cores: 1, PipesPerCore: 2, ContextsPerPipe: 2}
+
+// allStrategies builds one of each built-in strategy at default
+// parameters.
+func allStrategies(t *testing.T) map[string]Strategy {
+	t.Helper()
+	m := make(map[string]Strategy, len(Names))
+	for _, name := range Names {
+		s, err := New(name, nil, nil)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		m[name] = s
+	}
+	return m
+}
+
+// driveCampaign runs a strategy through a simulated engine loop: draws in
+// batches, measures with a deterministic synthetic landscape, commits per
+// batch — exactly the visibility contract core.iterate implements. It
+// returns every draw made.
+func driveCampaign(t *testing.T, s Strategy, seed int64, topo t2.Topology, tasks, draws, batch int) []Draw {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := NewHistory(topo, tasks)
+	var out []Draw
+	for len(out) < draws {
+		n := batch
+		if rem := draws - len(out); rem < n {
+			n = rem
+		}
+		start := h.Len()
+		for k := 0; k < n; k++ {
+			d, err := s.Next(rng, h)
+			if err != nil {
+				t.Fatalf("%s: Next: %v", s.Name(), err)
+			}
+			if got := h.Push(d); got != start+k {
+				t.Fatalf("%s: pushed draw got index %d, want %d", s.Name(), got, start+k)
+			}
+			out = append(out, d)
+		}
+		for i := start; i < h.Len(); i++ {
+			// Synthetic deterministic landscape: a cheap hash of the
+			// context vector. Every 17th draw is quarantined so
+			// strategies also see abandoned outcomes.
+			e := h.At(i)
+			v := 0.0
+			for _, c := range e.Assignment.Ctx {
+				v = math.Mod(v*31+float64(c)+1, 997)
+			}
+			h.Resolve(i, v, i%17 == 16)
+		}
+		h.Commit()
+	}
+	return out
+}
+
+// TestStrategyDeterminism is the replay contract: the same seed and the
+// same committed outcome sequence must reproduce the identical draw
+// sequence, for every strategy. This is what journaled resume relies on.
+func TestStrategyDeterminism(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Strategy {
+				s, err := New(name, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			a := driveCampaign(t, mk(), 42, t2.UltraSPARCT2(), 6, 300, 50)
+			b := driveCampaign(t, mk(), 42, t2.UltraSPARCT2(), 6, 300, 50)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("draw sequences diverged across identical replays")
+			}
+			c := driveCampaign(t, mk(), 43, t2.UltraSPARCT2(), 6, 300, 50)
+			if reflect.DeepEqual(a, c) {
+				t.Fatalf("different seeds produced identical draw sequences")
+			}
+		})
+	}
+}
+
+// TestStrategyFeasibility: every draw any strategy ever proposes must be a
+// valid member of the feasible set — on the full machine and on a small
+// one, including the saturated case (tasks == contexts) where relocation
+// is impossible and only swaps remain.
+func TestStrategyFeasibility(t *testing.T) {
+	shapes := []struct {
+		topo  t2.Topology
+		tasks int
+	}{
+		{t2.UltraSPARCT2(), 6},
+		{smallTopo, 2},
+		{smallTopo, 4}, // saturated: no free context to move to
+	}
+	for _, name := range Names {
+		for _, sh := range shapes {
+			t.Run(fmt.Sprintf("%s/%dctx/%dtasks", name, sh.topo.Contexts(), sh.tasks), func(t *testing.T) {
+				s, err := New(name, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, d := range driveCampaign(t, s, 7, sh.topo, sh.tasks, 400, 64) {
+					if err := d.Assignment.Validate(); err != nil {
+						t.Fatalf("draw %d infeasible: %v", i, err)
+					}
+					if len(d.Assignment.Ctx) != sh.tasks {
+						t.Fatalf("draw %d has %d tasks, want %d", i, len(d.Assignment.Ctx), sh.tasks)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStratifiedClassCoverage is the stratification guarantee: in
+// enumerated mode every canonical class appears exactly once before any
+// class repeats, in every pass.
+func TestStratifiedClassCoverage(t *testing.T) {
+	all, err := assign.Enumerate(smallTopo, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := len(all)
+	if classes < 2 {
+		t.Fatalf("degenerate test topology: %d classes", classes)
+	}
+	s, err := New("stratified", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draws := driveCampaign(t, s, 7, smallTopo, 2, 3*classes, 16)
+	for pass := 0; pass < 3; pass++ {
+		seen := map[string]bool{}
+		for i := 0; i < classes; i++ {
+			key := draws[pass*classes+i].Assignment.CanonicalKey()
+			if seen[key] {
+				t.Fatalf("pass %d repeated class %q at draw %d before covering all %d classes", pass, key, i, classes)
+			}
+			seen[key] = true
+		}
+		if len(seen) != classes {
+			t.Fatalf("pass %d covered %d classes, want %d", pass, len(seen), classes)
+		}
+	}
+}
+
+// TestStratifiedRejectionMode: past the enumeration cap, stratified must
+// still produce feasible draws and avoid class repeats while its retry
+// budget lasts.
+func TestStratifiedRejectionMode(t *testing.T) {
+	s, err := New("stratified", Params{"classes": 2, "retries": 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// classes=2 caps enumeration far below the T2's ~1.5k classes, forcing
+	// rejection mode on a space where distinct classes are plentiful.
+	draws := driveCampaign(t, s, 7, t2.UltraSPARCT2(), 6, 100, 25)
+	seen := map[string]int{}
+	for _, d := range draws {
+		seen[d.Assignment.CanonicalKey()]++
+	}
+	if len(seen) != len(draws) {
+		t.Fatalf("rejection mode repeated a class early: %d distinct over %d draws", len(seen), len(draws))
+	}
+}
+
+// TestUniformMatchesSample: the uniform strategy must consume the RNG
+// draw-for-draw identically to the historical assign.Sample — the
+// byte-identical-journal contract.
+func TestUniformMatchesSample(t *testing.T) {
+	for _, sh := range []struct {
+		topo  t2.Topology
+		tasks int
+	}{
+		{t2.UltraSPARCT2(), 6}, // Random path (tasks*2 <= contexts)
+		{smallTopo, 3},         // RandomPermutation path (tasks*2 > contexts)
+	} {
+		const n = 200
+		rngA := rand.New(rand.NewSource(99))
+		want, err := assign.Sample(rngA, sh.topo, sh.tasks, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rngB := rand.New(rand.NewSource(99))
+		h := NewHistory(sh.topo, sh.tasks)
+		var u Uniform
+		for i := 0; i < n; i++ {
+			d, err := u.Next(rngB, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Push(d)
+			if d.Explore {
+				t.Fatal("uniform marked a draw Explore")
+			}
+			if !reflect.DeepEqual(d.Assignment.Ctx, want[i].Ctx) {
+				t.Fatalf("%d contexts, %d tasks: draw %d diverged from assign.Sample: %v vs %v",
+					sh.topo.Contexts(), sh.tasks, i, d.Assignment.Ctx, want[i].Ctx)
+			}
+		}
+	}
+}
+
+// TestGreedyExploreMarking: greedy must mark exactly its adaptive draws
+// Explore, and its scheduled uniform draws must stay tail-eligible.
+func TestGreedyExploreMarking(t *testing.T) {
+	s, err := New("greedy", Params{"init": 20, "explore": 0.25}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draws := driveCampaign(t, s, 7, t2.UltraSPARCT2(), 6, 120, 10)
+	for i := 0; i < 20; i++ {
+		if draws[i].Explore {
+			t.Fatalf("init draw %d marked Explore", i)
+		}
+	}
+	var explore, uniform int
+	for i := 20; i < len(draws); i++ {
+		if draws[i].Explore {
+			explore++
+		} else {
+			uniform++
+		}
+	}
+	if explore == 0 {
+		t.Fatal("greedy never climbed")
+	}
+	if uniform == 0 {
+		t.Fatal("greedy stopped feeding the tail fit")
+	}
+	// explore=0.25 → every 4th post-init draw is uniform.
+	if uniform != 25 {
+		t.Fatalf("got %d post-init uniform draws, want 25", uniform)
+	}
+}
+
+// TestHistoryCommitVisibility: Best must only ever report committed
+// entries, and first-maximum-wins must hold.
+func TestHistoryCommitVisibility(t *testing.T) {
+	h := NewHistory(smallTopo, 2)
+	mk := func(c0, c1 int) Draw {
+		return Draw{Assignment: assign.Assignment{Topo: smallTopo, Ctx: []int{c0, c1}}}
+	}
+	h.Push(mk(0, 1))
+	h.Resolve(0, 10, false)
+	if _, ok := h.Best(); ok {
+		t.Fatal("Best visible before commit")
+	}
+	h.Commit()
+	if b, ok := h.Best(); !ok || b.Perf != 10 {
+		t.Fatalf("Best after commit: %+v %v", b, ok)
+	}
+	h.Push(mk(1, 2))
+	h.Push(mk(2, 3))
+	h.Resolve(1, 30, false)
+	h.Resolve(2, 30, false) // tie: first max must win
+	h.Commit()
+	b, _ := h.Best()
+	if b.Perf != 30 || !reflect.DeepEqual(b.Assignment.Ctx, []int{1, 2}) {
+		t.Fatalf("tie-break drifted: %+v", b)
+	}
+	// Quarantines never become Best.
+	h.Push(mk(3, 0))
+	h.Resolve(3, 99, true)
+	h.Commit()
+	if b, _ := h.Best(); b.Perf != 30 {
+		t.Fatalf("quarantined entry won Best: %+v", b)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	good := map[string]Params{
+		"":                  {},
+		"  ":                {},
+		"a=1":               {"a": 1},
+		"a=1,b=2.5":         {"a": 1, "b": 2.5},
+		" a = 1 , b = -3 ":  {"a": 1, "b": -3},
+		"t0=0.05,decay=0.9": {"t0": 0.05, "decay": 0.9},
+	}
+	for in, want := range good {
+		got, err := ParseParams(in)
+		if err != nil {
+			t.Errorf("ParseParams(%q): %v", in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ParseParams(%q) = %v, want %v", in, got, want)
+		}
+	}
+	bad := []string{"a", "a=", "=1", "a=1,", "a=1,a=2", "a=NaN", "a=+Inf", "a=-Inf", "a=x", ","}
+	for _, in := range bad {
+		if p, err := ParseParams(in); err == nil {
+			t.Errorf("ParseParams(%q) accepted: %v", in, p)
+		}
+	}
+}
+
+func TestSpecCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want string
+	}{
+		{"uniform", nil, ""},
+		{"", nil, ""},
+		{"stratified", nil, "stratified"},
+		{"greedy", Params{"init": 200, "explore": 0.1}, "greedy(explore=0.1,init=200)"},
+		{"greedy", Params{"explore": 0.1, "init": 200}, "greedy(explore=0.1,init=200)"},
+	}
+	for _, c := range cases {
+		if got := Spec(c.name, c.p); got != c.want {
+			t.Errorf("Spec(%q, %v) = %q, want %q", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := []struct {
+		name string
+		p    Params
+	}{
+		{"nope", nil},
+		{"uniform", Params{"x": 1}},
+		{"stratified", Params{"classes": 0}},
+		{"stratified", Params{"classes": 1.5}},
+		{"stratified", Params{"bogus": 1}},
+		{"greedy", Params{"explore": 1}},
+		{"greedy", Params{"explore": -0.1}},
+		{"greedy", Params{"init": 0}},
+		{"anneal", Params{"t0": 0}},
+		{"anneal", Params{"t0": -1}},
+		{"anneal", Params{"decay": 0}},
+		{"anneal", Params{"decay": 1.1}},
+		{"anneal", Params{"temperature": 1}},
+	}
+	for _, c := range bad {
+		if s, err := New(c.name, c.p, nil); err == nil {
+			t.Errorf("New(%q, %v) accepted: %T", c.name, c.p, s)
+		}
+	}
+}
+
+// TestRepSeedProperties: the documented derivation is deterministic,
+// order-independent and collision-free over a practical range.
+func TestRepSeedProperties(t *testing.T) {
+	seen := map[int64]string{}
+	for _, base := range []int64{0, 7, -7, 1 << 50} {
+		for rep := 0; rep < 1000; rep++ {
+			s := RepSeed(base, rep)
+			if s2 := RepSeed(base, rep); s2 != s {
+				t.Fatalf("RepSeed(%d,%d) not deterministic", base, rep)
+			}
+			key := fmt.Sprintf("%d/%d", base, rep)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("RepSeed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package search
+
+import (
+	"errors"
+	"math/rand"
+
+	"optassign/internal/assign"
+)
+
+// Stratified allocates the measurement budget over canonical assignment
+// classes (assign.CanonicalKey) instead of raw assignments, so
+// hardware-symmetric duplicates stop burning budget: a uniform sampler
+// keeps re-measuring popular classes (class mass is proportional to class
+// size), while Stratified visits every class once before repeating any.
+//
+// Two modes, chosen at the first draw:
+//
+//   - Enumerated (class count ≤ the classes parameter): the canonical
+//     representatives are enumerated once and served in passes; each pass
+//     is a fresh seed-derived shuffle and draws without replacement, so
+//     the class-coverage guarantee is exact.
+//   - Rejection (class space too large to enumerate): uniform draws
+//     deduplicated by canonical key with a bounded retry budget — a
+//     best-effort stratification that degrades gracefully toward uniform
+//     as the seen-set saturates.
+//
+// Both modes are tail-safe: enumerated draws are a without-replacement
+// uniform sweep of the class population (a sample that, unlike the raw
+// uniform one, is never tied), and rejection draws are uniform draws
+// thinned by a predicate on the past only.
+type Stratified struct {
+	classes int // enumeration cap
+	retries int // rejection-mode dedup attempts per draw
+
+	decided bool
+	// enumerated mode
+	reps []assign.Assignment
+	perm []int
+	pos  int
+	// rejection mode
+	seen map[string]bool
+}
+
+func newStratified(p Params) (*Stratified, error) {
+	if err := rejectUnknown(p, "stratified", "classes", "retries"); err != nil {
+		return nil, err
+	}
+	classes, err := paramInt(p, "classes", 20000, 1)
+	if err != nil {
+		return nil, err
+	}
+	retries, err := paramInt(p, "retries", 16, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Stratified{classes: classes, retries: retries}, nil
+}
+
+// Name implements Strategy.
+func (s *Stratified) Name() string { return "stratified" }
+
+// TailSafe implements Strategy.
+func (s *Stratified) TailSafe() bool { return true }
+
+// Next implements Strategy.
+func (s *Stratified) Next(rng *rand.Rand, h *History) (Draw, error) {
+	if !s.decided {
+		reps, err := assign.Enumerate(h.topo, h.tasks, s.classes)
+		switch {
+		case err == nil:
+			s.reps = reps
+		case errors.Is(err, assign.ErrTooManyAssignments):
+			s.seen = make(map[string]bool)
+		default:
+			return Draw{}, err
+		}
+		s.decided = true
+	}
+	if s.reps != nil {
+		if s.pos == 0 || s.pos >= len(s.reps) {
+			// Start a pass: a fresh Fisher-Yates order over every class.
+			if s.perm == nil {
+				s.perm = make([]int, len(s.reps))
+			}
+			for i := range s.perm {
+				s.perm[i] = i
+			}
+			rng.Shuffle(len(s.perm), func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+			s.pos = 0
+		}
+		a := s.reps[s.perm[s.pos]]
+		s.pos++
+		return Draw{Assignment: a}, nil
+	}
+	// Rejection mode: uniform draws, retried while the class was already
+	// sampled. The budget bounds RNG consumption per draw; when it runs
+	// out the duplicate is accepted — correctness never depends on
+	// distinctness, only budget efficiency does.
+	var last assign.Assignment
+	for try := 0; try < s.retries; try++ {
+		a, err := uniformDraw(rng, h)
+		if err != nil {
+			return Draw{}, err
+		}
+		last = a
+		key := a.CanonicalKey()
+		if !s.seen[key] {
+			s.seen[key] = true
+			return Draw{Assignment: a}, nil
+		}
+	}
+	return Draw{Assignment: last}, nil
+}

@@ -1,0 +1,36 @@
+package search
+
+import (
+	"math/rand"
+)
+
+// Uniform is the paper's §3.3.2 sampler as a Strategy: every draw is an
+// i.i.d. uniform random assignment and every draw feeds the tail fit.
+//
+// Its RNG consumption is draw-for-draw identical to the historical
+// assign.Sample loop (same generator choice, same variates), so a
+// campaign run with Uniform produces byte-identical journals to campaigns
+// recorded before strategies existed — and their journals resume under
+// it.
+type Uniform struct{}
+
+// Name implements Strategy.
+func (Uniform) Name() string { return "uniform" }
+
+// TailSafe implements Strategy: uniform draws are exactly the i.i.d.
+// sample the EVT machinery assumes.
+func (Uniform) TailSafe() bool { return true }
+
+// Next implements Strategy. The generator switch mirrors assign.Sample:
+// rejection sampling (the paper-faithful procedure) for sparse workloads,
+// the equivalent partial Fisher-Yates for workloads using more than half
+// the machine — both uniform over the feasible set, chosen per draw by a
+// condition that is constant for a campaign, so the stream matches
+// assign.Sample's exactly.
+func (Uniform) Next(rng *rand.Rand, h *History) (Draw, error) {
+	a, err := uniformDraw(rng, h)
+	if err != nil {
+		return Draw{}, err
+	}
+	return Draw{Assignment: a}, nil
+}
