@@ -71,6 +71,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -83,6 +84,7 @@ import (
 	"optassign/internal/assign"
 	"optassign/internal/campaign"
 	"optassign/internal/core"
+	"optassign/internal/evt"
 	"optassign/internal/netdps"
 	"optassign/internal/netgen"
 	"optassign/internal/obs"
@@ -102,6 +104,7 @@ type progressPrinter struct {
 	resm    *core.ResilientMetrics
 	poolm   *core.PoolMetrics
 	cachem  *core.CacheMetrics
+	streamm *obs.StreamMetrics
 	last    int // previous line length, for overwrite padding
 }
 
@@ -115,8 +118,23 @@ func (p *progressPrinter) Emit(e obs.Event) {
 	if tu, _ := e.Field("tail_unbounded").(bool); tu {
 		b.WriteString(" tail unbounded, sampling more")
 	} else {
-		fmt.Fprintf(&b, " UPB=%.6g CI=[%.6g, %.6g] gap=%.2f%%",
-			e.Field("upb"), e.Field("upb_lo"), e.Field("upb_hi"), e.Field("headroom_hi_pct"))
+		// The live converging bound: the streaming refit's point estimate
+		// with its half-width — "upb=X ±Y" narrows round over round as the
+		// campaign converges. The half-width is omitted while the upper
+		// bound is unbounded (the CI shows the honest [lo, +Inf]).
+		upb, _ := e.Field("upb").(float64)
+		lo, _ := e.Field("upb_lo").(float64)
+		hi, _ := e.Field("upb_hi").(float64)
+		fmt.Fprintf(&b, " upb=%.6g", upb)
+		if !math.IsInf(hi, 1) {
+			fmt.Fprintf(&b, " ±%.3g", (hi-lo)/2)
+		}
+		fmt.Fprintf(&b, " CI=[%.6g, %.6g] gap=%.2f%%", lo, hi, e.Field("headroom_hi_pct"))
+	}
+	if p.streamm != nil {
+		if refits := p.streamm.RefitCount.Value(); refits > 0 {
+			fmt.Fprintf(&b, " tail=%.0f refits=%.0f", p.streamm.TailExceedances.Value(), refits)
+		}
 	}
 	if q, ok := e.Field("quarantined").(int); ok && q > 0 {
 		fmt.Fprintf(&b, " quarantined=%d", q)
@@ -334,6 +352,10 @@ func main() {
 		Seed:          *seed,
 		Events:        events,
 		Metrics:       core.NewIterMetrics(reg),
+		StreamMetrics: obs.NewStreamMetrics(reg),
+	}
+	if prog != nil {
+		prog.streamm = cfg.StreamMetrics
 	}
 
 	// Search strategy: the default uniform draw keeps cfg.Strategy nil so
@@ -409,6 +431,19 @@ func main() {
 			cfg.ResumeLog = st.Log
 			fmt.Printf("resuming from %s: %d measurements recovered (%d quarantined)\n",
 				*journalPath, len(st.Results), st.Quarantined)
+			// The estimator checkpoint restores the streaming tail state
+			// alongside the journal; its hash is verified against the
+			// replayed sample before it is trusted. Absent (pre-streaming
+			// journal, or killed before the first refit) the state is
+			// rebuilt from the replay.
+			ckpt, cerr := campaign.LoadEstimatorCheckpoint(campaign.EstimatorCheckpointPath(*journalPath))
+			if cerr != nil {
+				log.Fatal(cerr)
+			}
+			if ckpt != nil {
+				cfg.StreamCheckpoint = ckpt
+				fmt.Printf("restored estimator checkpoint: %d tail observations, %d refits\n", ckpt.N, ckpt.RefitCount)
+			}
 		} else {
 			j, err = campaign.CreateJournal(*journalPath, h)
 			if err != nil {
@@ -417,6 +452,10 @@ func main() {
 		}
 		j.Instrument(campaign.NewJournalMetrics(reg))
 		defer j.Close()
+		ckptPath := campaign.EstimatorCheckpointPath(*journalPath)
+		cfg.OnRefit = func(st evt.StreamState) error {
+			return campaign.SaveEstimatorCheckpoint(ckptPath, st)
+		}
 	}
 
 	var recorded *campaign.Campaign

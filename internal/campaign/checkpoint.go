@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"optassign/internal/evt"
+)
+
+// Estimator checkpoints are the streaming counterpart of the write-ahead
+// journal: the journal persists every measurement, the checkpoint
+// persists the tail estimator's state at each scheduled refit, so a
+// resumed campaign restores its POT state (order statistics, threshold,
+// interval, refit schedule) and feeds only the post-checkpoint journal
+// delta instead of rebuilding from the whole sample. The checkpoint is a
+// sidecar next to the journal — one JSON document, rewritten atomically
+// at each refit — because unlike the journal it is a snapshot, not a
+// log: only the latest state matters, and a half-written snapshot must
+// never be loadable.
+//
+// Crash ordering is safe in one direction only: measurements hit the
+// journal before the refit that includes them, so at any crash the
+// journal is at or ahead of the checkpoint. Resume verifies the rest —
+// the checkpoint's commit-order hash must match the journal's replayed
+// prefix (see core.IterConfig.StreamCheckpoint).
+
+// EstimatorCheckpointPath is the sidecar path for a journal: the journal
+// path with ".estimator" appended.
+func EstimatorCheckpointPath(journalPath string) string {
+	return journalPath + ".estimator"
+}
+
+// SaveEstimatorCheckpoint atomically replaces the checkpoint at path
+// with st: the state is written to a temporary file in the same
+// directory, synced, and renamed over the target, so a crash mid-write
+// leaves the previous checkpoint intact.
+func SaveEstimatorCheckpoint(path string, st evt.StreamState) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: estimator checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(st); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: encoding estimator checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: syncing estimator checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: closing estimator checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaign: installing estimator checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadEstimatorCheckpoint reads the checkpoint at path. A missing file
+// is not an error — it returns (nil, nil): a campaign journaled before
+// its first refit, or by a build without streaming checkpoints, simply
+// resumes by re-feeding the replayed sample.
+func LoadEstimatorCheckpoint(path string) (*evt.StreamState, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: estimator checkpoint: %w", err)
+	}
+	var st evt.StreamState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("campaign: decoding estimator checkpoint %s: %w", path, err)
+	}
+	return &st, nil
+}

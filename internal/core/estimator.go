@@ -51,6 +51,18 @@ func EstimateOptimalAgainst(perfs []float64, best float64, opts evt.POTOptions) 
 	if err != nil {
 		return Estimate{}, err
 	}
+	return estimateFromReport(rep, best), nil
+}
+
+// estimateFromReport derives the engine's Estimate from a finished POT
+// report and the campaign-wide best performance. It is shared by the
+// batch path (EstimateOptimalAgainst) and the streaming path (a
+// StreamEstimator refit produces the same Report type), so both compute
+// headroom identically. Headroom falls back to 0 (display) and the
+// stopping-rule HeadroomHiPct to 100 (conservative: requirement not yet
+// met) whenever the bound cannot support a relative gap — unbounded Hi,
+// or a zero bound on a degenerate scale.
+func estimateFromReport(rep evt.Report, best float64) Estimate {
 	est := Estimate{
 		Report:        rep,
 		Optimal:       rep.UPB.Point,
@@ -63,12 +75,14 @@ func EstimateOptimalAgainst(perfs []float64, best float64, opts evt.POTOptions) 
 	if !math.IsNaN(best) && best != rep.BestObs {
 		est.BestObserved = best
 		est.HeadroomPct = 0
-		if est.Optimal > 0 {
-			est.HeadroomPct = (est.Optimal - best) / est.Optimal * 100
+		if h, ok := evt.HeadroomPercent(est.Optimal, best); ok {
+			est.HeadroomPct = h
 		}
 	}
-	if !math.IsInf(est.Hi, 1) && est.Hi > 0 {
-		est.HeadroomHiPct = (est.Hi - est.BestObserved) / est.Hi * 100
+	if !math.IsInf(est.Hi, 1) {
+		if h, ok := evt.HeadroomPercent(est.Hi, est.BestObserved); ok {
+			est.HeadroomHiPct = h
+		}
 	}
-	return est, nil
+	return est
 }

@@ -79,6 +79,24 @@ type IterConfig struct {
 	// SearchMetrics counts draws, exploration draws and best-improvements,
 	// labeled by strategy. nil disables; never influences the campaign.
 	SearchMetrics *search.Metrics
+	// StreamMetrics publishes the streaming tail estimator's live state —
+	// committed observations, current threshold exceedances, UPB point and
+	// CI width — updated per committed batch, not just per estimation
+	// round. nil disables; never influences the campaign.
+	StreamMetrics *obs.StreamMetrics
+	// StreamCheckpoint restores the streaming estimator from a state
+	// captured by OnRefit, so a resumed campaign rebuilds its tail state
+	// from the checkpoint plus the post-checkpoint journal delta instead
+	// of re-feeding the whole sample. The checkpoint's commit-order hash
+	// is verified against the replayed journal prefix: a mismatch —
+	// checkpoint from a different campaign, seed or strategy — is fatal
+	// rather than silently diverging.
+	StreamCheckpoint *evt.StreamState
+	// OnRefit receives the estimator's serializable state after every
+	// scheduled refit (the campaign layer persists it next to the
+	// journal). An error aborts the campaign: a checkpoint that cannot be
+	// written is a checkpoint that cannot be resumed from.
+	OnRefit func(evt.StreamState) error
 }
 
 // ResumeDraw is one journaled draw of an interrupted campaign: the
@@ -199,8 +217,9 @@ func iterate(ctx context.Context, cfg IterConfig, measure measurer) (IterResult,
 
 	results := append([]SampleResult(nil), cfg.Resume...)
 	var res IterResult
-	// tailPerfs is the estimator's sample: successful, non-Explore draws.
-	// For the uniform baseline it is exactly Perfs(results).
+	// tailPerfs is the estimator's sample over any resumed prefix:
+	// successful, non-Explore draws. For the uniform baseline it is
+	// exactly Perfs(results).
 	var tailPerfs []float64
 	// priorQuarantined is the count of resumed-prefix draws that were
 	// quarantined rather than measured (ResumeDraws minus the recovered
@@ -218,6 +237,47 @@ func iterate(ctx context.Context, cfg IterConfig, measure measurer) (IterResult,
 		tailPerfs, err = replayResume(cfg, strategy, rng, hist, draws)
 		if err != nil {
 			return IterResult{}, err
+		}
+	}
+	// stream maintains the estimator's sample incrementally: the order
+	// statistics, exceedance counts and best-observed update per committed
+	// draw, and each estimation round is a scheduled refit of the same
+	// pipeline Analyze runs — bitwise-identical by construction, proven by
+	// the differential suite in internal/evt. A checkpoint skips
+	// re-feeding the restored prefix; without one, the replayed sample is
+	// fed in journal order, reproducing the uninterrupted stream exactly.
+	stream := evt.NewStreamEstimator(evt.StreamOptions{POT: cfg.POT})
+	if st := cfg.StreamCheckpoint; st != nil {
+		if st.N > len(tailPerfs) {
+			return IterResult{}, fmt.Errorf("core: estimator checkpoint holds %d observations but the journal replay recovered only %d (checkpoint from a different campaign?)", st.N, len(tailPerfs))
+		}
+		if got := evt.CommitOrderHash(tailPerfs[:st.N]); got != st.Hash {
+			return IterResult{}, fmt.Errorf("core: estimator checkpoint hash %s does not match the journal's first %d tail observations (%s) — checkpoint from a different campaign, seed or strategy", st.Hash, st.N, got)
+		}
+		restored, err := evt.RestoreStream(*st, evt.StreamOptions{POT: cfg.POT})
+		if err != nil {
+			return IterResult{}, fmt.Errorf("core: estimator checkpoint: %w", err)
+		}
+		stream = restored
+		tailPerfs = tailPerfs[st.N:]
+	}
+	if err := stream.ObserveAll(tailPerfs); err != nil {
+		return IterResult{}, fmt.Errorf("core: resumed sample: %w", err)
+	}
+	publishStream := func() {
+		m := cfg.StreamMetrics
+		if m == nil {
+			return
+		}
+		l := stream.Live()
+		m.Observed.Set(float64(l.N))
+		m.Best.Set(l.Best)
+		m.TailExceedances.Set(float64(l.TailCount))
+		m.TailMass.Set(l.TailMass)
+		m.RefitCount.Set(float64(l.RefitCount))
+		if l.Fitted {
+			m.UPBPoint.Set(l.UPB)
+			m.UPBCIWidth.Set(l.CIWidth())
 		}
 	}
 	sm := cfg.SearchMetrics
@@ -260,7 +320,9 @@ func iterate(ctx context.Context, cfg IterConfig, measure measurer) (IterResult,
 			}
 			results = append(results, SampleResult{Assignment: batch[i], Perf: o.perf})
 			if !explore[i] {
-				tailPerfs = append(tailPerfs, o.perf)
+				if serr := stream.Observe(o.perf); serr != nil {
+					return fmt.Errorf("core: draw %d: %w", base+i+1, serr)
+				}
 			}
 			if !haveBest || o.perf > bestPerf {
 				bestPerf, haveBest = o.perf, true
@@ -270,6 +332,7 @@ func iterate(ctx context.Context, cfg IterConfig, measure measurer) (IterResult,
 			}
 		}
 		hist.Commit()
+		publishStream()
 		lastAdded = add
 		return err
 	}
@@ -317,7 +380,22 @@ func iterate(ctx context.Context, cfg IterConfig, measure measurer) (IterResult,
 				}})
 			}
 		} else {
-			est, err := EstimateOptimalAgainst(tailPerfs, res.Best.Perf, cfg.POT)
+			// Step 2 is a scheduled refit of the streaming estimator: the
+			// full threshold scan + MLE + Wilks interval on the maintained
+			// order statistics — the same analysis, on the same sample, as
+			// the historical from-scratch EstimateOptimalAgainst, with the
+			// O(n log n) re-sort amortized away.
+			rep, err := stream.Refit()
+			var est Estimate
+			if err == nil {
+				est = estimateFromReport(rep, res.Best.Perf)
+			}
+			publishStream()
+			if hook := cfg.OnRefit; hook != nil && (err == nil || errors.Is(err, evt.ErrUnboundedTail)) {
+				if herr := hook(stream.Snapshot()); herr != nil {
+					return res, fmt.Errorf("core: estimator checkpoint at %d samples: %w", len(results), herr)
+				}
+			}
 			switch {
 			case errors.Is(err, evt.ErrUnboundedTail):
 				// The sample's tail is not yet distinguishable from an

@@ -1,0 +1,151 @@
+package evt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression tests for the three tail-pipeline bugfixes shipped with the
+// streaming estimator: the headroom division guard, the typed
+// non-finite-sample rejection, and the tie-run linearity diagnostic flag.
+
+// TestHeadroomPercentGuards pins the guard semantics: a zero bound (or
+// one whose gap overflows) reports ok=false instead of ±Inf/NaN, and a
+// negative bound normalizes by magnitude so the gap keeps its sign on
+// negated performance scales.
+func TestHeadroomPercentGuards(t *testing.T) {
+	cases := []struct {
+		bound, best float64
+		pct         float64
+		ok          bool
+	}{
+		{100, 98, 2, true},
+		{-1, -1.02, 2, true}, // negative scale: best 2% below the bound
+		{-1, -0.9, -10, true},
+		{0, 5, 0, false},
+		{0, 0, 0, false},
+		{-math.MaxFloat64, math.MaxFloat64, 0, false}, // gap overflows to −Inf
+	}
+	for _, c := range cases {
+		pct, ok := HeadroomPercent(c.bound, c.best)
+		if ok != c.ok {
+			t.Errorf("HeadroomPercent(%v, %v) ok = %v, want %v", c.bound, c.best, ok, c.ok)
+			continue
+		}
+		if ok && math.Abs(pct-c.pct) > 1e-9 {
+			t.Errorf("HeadroomPercent(%v, %v) = %v, want %v", c.bound, c.best, pct, c.pct)
+		}
+		if math.IsNaN(pct) || math.IsInf(pct, 0) {
+			t.Errorf("HeadroomPercent(%v, %v) leaked non-finite %v", c.bound, c.best, pct)
+		}
+	}
+}
+
+// TestAnalyzeNegativeScaleHeadroom: on a negative performance scale
+// (latencies negated into higher-is-better, log-scores) the UPB point is
+// negative; the report must carry a real finite headroom instead of the
+// old guard's silent 0, and validateFinite must accept the report.
+func TestAnalyzeNegativeScaleHeadroom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := GPD{Xi: -0.3, Sigma: 5}.Sample(rng, 3000)
+	for i := range xs {
+		xs[i] -= 200 // shift the whole scale negative; tail still bounded
+	}
+	rep, err := Analyze(xs, POTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UPB.Point >= 0 {
+		t.Fatalf("UPB.Point = %v, expected a negative-scale bound", rep.UPB.Point)
+	}
+	if rep.HeadroomPct == 0 {
+		t.Fatal("HeadroomPct = 0 on a negative scale: division guard still swallowing the gap")
+	}
+	want, ok := HeadroomPercent(rep.UPB.Point, rep.BestObs)
+	if !ok || rep.HeadroomPct != want {
+		t.Fatalf("HeadroomPct = %v, want %v (ok=%v)", rep.HeadroomPct, want, ok)
+	}
+	if rep.HeadroomPct < 0 {
+		t.Fatalf("HeadroomPct = %v: bound below best on a bounded-tail sample", rep.HeadroomPct)
+	}
+}
+
+// TestPipelineRejectsNonFinite: a single NaN or ±Inf anywhere in the
+// sample must produce the typed error at the pipeline entry — before
+// sort.Float64s can place the NaN arbitrarily and make the threshold
+// (and everything fitted downstream) nondeterministic.
+func TestPipelineRejectsNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := GPD{Xi: -0.3, Sigma: 5}.Sample(rng, 1000)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		xs := append([]float64(nil), base...)
+		xs[437] = bad
+		if _, err := Analyze(xs, POTOptions{}); !errors.Is(err, ErrNonFiniteSample) {
+			t.Errorf("Analyze with %v: err = %v, want ErrNonFiniteSample", bad, err)
+		}
+		if _, err := SelectThreshold(xs, ThresholdOptions{}); !errors.Is(err, ErrNonFiniteSample) {
+			t.Errorf("SelectThreshold with %v: err = %v, want ErrNonFiniteSample", bad, err)
+		}
+	}
+	// A clean sample still goes through.
+	if _, err := SelectThreshold(base, ThresholdOptions{}); err != nil {
+		t.Fatalf("finite sample rejected: %v", err)
+	}
+}
+
+// TestThresholdLinearityOKOnSnapDown: when a tie-run snap-down leaves
+// fewer than two mean-excess points at or above the threshold, the
+// linearity fit is unavailable. The report must say so via LinearityOK
+// instead of presenting a zero-valued LinearFit as a measured, perfectly
+// non-linear tail.
+func TestThresholdLinearityOKOnSnapDown(t *testing.T) {
+	// 380 distinct body values strictly below a 100-copy tie run at the
+	// maximum: every scan candidate lands inside the run, snaps down to
+	// the body maximum, and the only mean-excess point at or above it is
+	// the body maximum itself — one point, no line.
+	const tied = 100.0
+	var xs []float64
+	for i := 1; i <= 380; i++ {
+		xs = append(xs, tied*float64(i)/400)
+	}
+	for i := 0; i < 100; i++ {
+		xs = append(xs, tied)
+	}
+
+	thr, err := SelectThreshold(xs, ThresholdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thr.Exceedances) != 100 {
+		t.Fatalf("snap-down kept %d exceedances, want the whole 100-copy tie run", len(thr.Exceedances))
+	}
+	if thr.LinearityOK {
+		t.Fatalf("LinearityOK = true with a single mean-excess point above u=%v", thr.U)
+	}
+	if thr.Linearity != (LinearFit{}) {
+		t.Fatalf("unavailable linearity carries values: %+v", thr.Linearity)
+	}
+
+	// Control: a smooth sample fits a real line and sets the flag.
+	rng := rand.New(rand.NewSource(29))
+	smooth, err := SelectThreshold(GPD{Xi: -0.3, Sigma: 5}.Sample(rng, 2000), ThresholdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smooth.LinearityOK || smooth.Linearity.R2 <= 0 {
+		t.Fatalf("smooth sample: LinearityOK=%v Linearity=%+v", smooth.LinearityOK, smooth.Linearity)
+	}
+
+	// RuleLinearityScan cannot score unfittable candidates; on this
+	// sample every candidate is unfittable and the scan must still
+	// return the snapped threshold rather than fail or pretend R²=0.
+	scan, err := SelectThreshold(xs, ThresholdOptions{Rule: RuleLinearityScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.LinearityOK {
+		t.Fatalf("linearity scan scored an unfittable candidate: %+v", scan.Linearity)
+	}
+}

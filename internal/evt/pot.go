@@ -3,6 +3,7 @@ package evt
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // POTOptions configures a full Peak-Over-Threshold analysis. The zero value
@@ -53,16 +54,57 @@ type Report struct {
 	Estimators  []EstimatorDiag // per-estimator outcomes on the same exceedances
 }
 
+// HeadroomPercent returns the relative gap between an estimated
+// performance bound and the best observed performance, as a percentage of
+// the bound's magnitude: (bound − best)/|bound| · 100. Normalizing by
+// |bound| keeps the gap meaningful on negative performance scales
+// (latencies negated into "higher is better", log-scores), where dividing
+// by the signed bound flipped the sign and a bound of exactly 0 divided
+// to ±Inf/NaN. ok is false when no gap can be expressed — the bound is 0,
+// or the subtraction overflows — and callers choose their own fallback (0
+// for a display field, 100 for the conservative stopping rule).
+func HeadroomPercent(bound, best float64) (pct float64, ok bool) {
+	if bound == 0 {
+		return 0, false
+	}
+	pct = (bound - best) / math.Abs(bound) * 100
+	if math.IsNaN(pct) || math.IsInf(pct, 0) {
+		return 0, false
+	}
+	return pct, true
+}
+
 // Analyze runs the complete §3.3 pipeline on a raw performance sample:
 // select the threshold, fit the GPD to the exceedances by maximum
 // likelihood, estimate the Upper Performance Bound and its Wilks confidence
-// interval, and attach goodness-of-fit diagnostics.
+// interval, and attach goodness-of-fit diagnostics. A sample containing
+// NaN or ±Inf is rejected up front with ErrNonFiniteSample.
 func Analyze(sample []float64, opts POTOptions) (Report, error) {
-	o := opts.withDefaults()
 	if len(sample) == 0 {
 		return Report{}, ErrSampleTooSmall
 	}
-	thr, err := SelectThreshold(sample, o.Threshold)
+	if err := checkFiniteSample(sample); err != nil {
+		return Report{}, err
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	return analyzeSorted(sorted, opts)
+}
+
+// analyzeSorted is the shared pipeline core behind Analyze and
+// StreamEstimator.Refit: the complete §3.3 analysis of a sample already
+// validated finite and sorted ascending. Every quantity in the report is
+// a function of the sorted order alone (the threshold scan, the
+// exceedance sets, the fits, the maximum), so any two inputs holding the
+// same multiset of finite observations produce bitwise-identical reports
+// — the equivalence the streaming estimator's differential suite pins.
+// The input is never mutated and never retained.
+func analyzeSorted(sorted []float64, opts POTOptions) (Report, error) {
+	o := opts.withDefaults()
+	if len(sorted) == 0 {
+		return Report{}, ErrSampleTooSmall
+	}
+	thr, err := selectThresholdSorted(sorted, o.Threshold)
 	if err != nil {
 		return Report{}, fmt.Errorf("threshold selection: %w", err)
 	}
@@ -74,14 +116,9 @@ func Analyze(sample []float64, opts POTOptions) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("UPB interval: %w", err)
 	}
-	best := sample[0]
-	for _, x := range sample[1:] {
-		if x > best {
-			best = x
-		}
-	}
+	best := sorted[len(sorted)-1]
 	r := Report{
-		N:         len(sample),
+		N:         len(sorted),
 		BestObs:   best,
 		Threshold: thr,
 		Fit:       fit,
@@ -89,8 +126,8 @@ func Analyze(sample []float64, opts POTOptions) (Report, error) {
 		QQCorr:    QQCorrelation(QuantilePlot(thr.Exceedances, fit.GPD)),
 		Regular:   fit.GPD.Xi > -0.5 && fit.GPD.Xi < 0,
 	}
-	if iv.Point > 0 {
-		r.HeadroomPct = (iv.Point - best) / iv.Point * 100
+	if h, ok := HeadroomPercent(iv.Point, best); ok {
+		r.HeadroomPct = h
 	}
 	// Cross-check estimators on the same exceedances. The MLE entry mirrors
 	// the fit above; PWM and moments run fresh and may legitimately refuse

@@ -1,0 +1,460 @@
+package evt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// This file implements the streaming POT estimator: the §3.3 pipeline
+// maintained incrementally across a campaign instead of refitted from a
+// raw sample at the end. Two kinds of work happen at two cadences:
+//
+//   - per observation (every committed, tail-eligible measurement):
+//     cheap monotone updates — an O(√n)-ish insertion into a chunked
+//     order-statistics structure, the running best, the count of
+//     observations above the last fitted threshold (the live ECDF tail
+//     mass), and a commit-order hash that lets a resumed campaign verify
+//     a restored checkpoint against its journal;
+//
+//   - per refit (a scheduled boundary): the full pipeline — threshold
+//     scan, GPD maximum-likelihood fit, Wilks profile-likelihood
+//     confidence interval — run by the exact same code path as the batch
+//     Analyze on the materialized order statistics.
+//
+// The equivalence argument is structural, not numerical: Analyze is
+// (finite check) + (sort a copy) + analyzeSorted, and sorting is a
+// permutation, so feeding analyzeSorted a maintained sorted multiset of
+// the same observations produces a bitwise-identical Report — same
+// threshold, same exceedance slice, same optimizer trajectory, same
+// interval — no matter how the observations were interleaved on the way
+// in. The differential suite in stream_test.go pins this at every refit
+// boundary. The single excluded edge is signed zero: −0.0 and +0.0
+// compare equal, so their relative order within the sorted multiset is
+// insertion-dependent; every downstream quantity is arithmetic on the
+// values (where −0.0 behaves as +0.0), but a Threshold.U of −0.0 vs +0.0
+// would differ in bits. Performance samples are magnitudes and never
+// produce −0.0.
+
+// StreamOptions configures a StreamEstimator. The zero value runs the
+// paper-default POT analysis with refits driven entirely by explicit
+// Refit calls (the engine mode: core.iterate refits on its Ninit/+Ndelta
+// estimation schedule).
+type StreamOptions struct {
+	// POT configures each refit's analysis, exactly as for Analyze.
+	POT POTOptions
+	// AutoRefit enables the standalone doubling schedule: Observe
+	// triggers a refit whenever the sample reaches the next scheduled
+	// size. Off in engine mode, where the caller owns the schedule.
+	AutoRefit bool
+	// FirstRefit is the sample size of the first automatic refit
+	// (default 64). Ignored without AutoRefit.
+	FirstRefit int
+	// Growth multiplies the sample size between automatic refits
+	// (default 2 — refit at 64, 128, 256, ...). Each refit costs one
+	// full analysis of the sample so far; geometric spacing keeps the
+	// total refit work linear in the final sample size. Ignored without
+	// AutoRefit.
+	Growth float64
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.FirstRefit <= 0 {
+		o.FirstRefit = 64
+	}
+	if o.Growth <= 1 {
+		o.Growth = 2
+	}
+	return o
+}
+
+// StreamLive is the estimator's cheap live summary: everything updated
+// per observation, plus the headline numbers of the last successful
+// refit. It is what the engine publishes to gauges and the progress line
+// between refits.
+type StreamLive struct {
+	N    int     // committed observations
+	Best float64 // best observation so far (monotone)
+	// Fitted reports at least one successful refit; until then the
+	// threshold/UPB fields below are zero and meaningless.
+	Fitted bool
+	// U is the last fitted threshold; TailCount the number of
+	// observations strictly above it, maintained per observation since
+	// the refit; TailMass is TailCount/N, the live ECDF tail mass.
+	U         float64
+	TailCount int
+	TailMass  float64
+	// UPB, Lo, Hi are the last refit's optimum estimate and confidence
+	// interval. Hi is +Inf when the last refit could not reject an
+	// unbounded tail at the interval's confidence level.
+	UPB, Lo, Hi float64
+	// RefitCount counts successful refits; LastRefitN is the sample size
+	// of the last one; NextRefitN the next automatic refit size (0 when
+	// AutoRefit is off).
+	RefitCount int
+	LastRefitN int
+	NextRefitN int
+}
+
+// CIWidth is the confidence interval's width, +Inf while the upper bound
+// is unbounded, and 0 before the first successful refit.
+func (l StreamLive) CIWidth() float64 {
+	if !l.Fitted {
+		return 0
+	}
+	return l.Hi - l.Lo
+}
+
+// StreamState is the serializable checkpoint of a StreamEstimator. It
+// carries the complete sorted multiset of observations — a restored
+// estimator refits without re-reading the original sample — plus the
+// commit-order hash that ties the state to the exact measurement prefix
+// that produced it, so a resumed campaign can verify the checkpoint
+// against its replayed journal before trusting it.
+//
+// Two fields exist only to survive encoding/json: Hash is the FNV-1a
+// value as a hex string (a uint64 above 2^53 does not round-trip through
+// a JSON number), and HiUnbounded stands in for UPBHi = +Inf (JSON has
+// no Inf; UPBHi is 0 when HiUnbounded is set).
+type StreamState struct {
+	N           int       `json:"n"`
+	Hash        string    `json:"hash"`
+	Sorted      []float64 `json:"sorted"`
+	Best        float64   `json:"best"`
+	Fitted      bool      `json:"fitted,omitempty"`
+	U           float64   `json:"u,omitempty"`
+	TailCount   int       `json:"tail_count,omitempty"`
+	UPBPoint    float64   `json:"upb_point,omitempty"`
+	UPBLo       float64   `json:"upb_lo,omitempty"`
+	UPBHi       float64   `json:"upb_hi,omitempty"`
+	HiUnbounded bool      `json:"hi_unbounded,omitempty"`
+	RefitCount  int       `json:"refit_count,omitempty"`
+	LastRefitN  int       `json:"last_refit_n,omitempty"`
+	NextRefitN  int       `json:"next_refit_n,omitempty"`
+}
+
+// Chunk sizing for the order-statistics structure: chunks are rebuilt at
+// streamChunkTarget on bulk loads and split in half once an insertion
+// grows one past streamChunkMax, so a single insert moves at most
+// streamChunkMax float64s and the chunk directory stays small enough
+// that its binary search is noise.
+const (
+	streamChunkTarget = 512
+	streamChunkMax    = 1024
+)
+
+// orderStats is a chunked sorted list: chunks are disjoint, ascending
+// within and across, so the concatenation is the sorted multiset. It
+// exists because a flat sorted slice costs an O(n) memmove per insert —
+// at fleet-campaign sizes that is the difference between a per-commit
+// update and a per-commit re-sort.
+type orderStats struct {
+	chunks [][]float64
+}
+
+func (o *orderStats) insert(x float64) {
+	if len(o.chunks) == 0 {
+		c := make([]float64, 1, streamChunkTarget)
+		c[0] = x
+		o.chunks = append(o.chunks, c)
+		return
+	}
+	// First chunk whose maximum is >= x holds x's position; a value
+	// above every maximum goes at the end of the last chunk.
+	i := sort.Search(len(o.chunks), func(i int) bool {
+		c := o.chunks[i]
+		return c[len(c)-1] >= x
+	})
+	if i == len(o.chunks) {
+		i--
+	}
+	c := o.chunks[i]
+	j := sort.SearchFloat64s(c, x)
+	c = append(c, 0)
+	copy(c[j+1:], c[j:])
+	c[j] = x
+	o.chunks[i] = c
+	if len(c) > streamChunkMax {
+		mid := len(c) / 2
+		left := append(make([]float64, 0, streamChunkMax), c[:mid]...)
+		right := append(make([]float64, 0, streamChunkMax), c[mid:]...)
+		o.chunks = append(o.chunks, nil)
+		copy(o.chunks[i+2:], o.chunks[i+1:])
+		o.chunks[i] = left
+		o.chunks[i+1] = right
+	}
+}
+
+// fromSorted bulk-loads an already-sorted slice, copying it into fresh
+// chunks (the input is not retained).
+func (o *orderStats) fromSorted(sorted []float64) {
+	o.chunks = nil
+	for len(sorted) > 0 {
+		n := streamChunkTarget
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		o.chunks = append(o.chunks, append(make([]float64, 0, streamChunkMax), sorted[:n]...))
+		sorted = sorted[n:]
+	}
+}
+
+// materialize returns the sorted multiset as one fresh slice of length n.
+func (o *orderStats) materialize(n int) []float64 {
+	out := make([]float64, 0, n)
+	for _, c := range o.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// FNV-1a over the IEEE-754 bits of each observation in commit order.
+// Insertion-order sensitivity is the point: the hash identifies the
+// exact measurement prefix, so a checkpoint restored against a journal
+// that committed the same values in a different order — a different
+// campaign — is rejected.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func foldHash(h uint64, x float64) uint64 {
+	bits := math.Float64bits(x)
+	for i := 0; i < 64; i += 8 {
+		h ^= (bits >> i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func hashHex(h uint64) string {
+	return fmt.Sprintf("%016x", h)
+}
+
+// CommitOrderHash is the hash a StreamEstimator would carry after
+// observing xs in order. Resume paths use it to verify a checkpoint's
+// Hash against the journal-replayed prefix.
+func CommitOrderHash(xs []float64) string {
+	h := uint64(fnvOffset64)
+	for _, x := range xs {
+		h = foldHash(h, x)
+	}
+	return hashHex(h)
+}
+
+// StreamEstimator maintains POT state incrementally over a stream of
+// committed observations. Observe is the cheap per-commit update; Refit
+// runs the full analysis on the maintained order statistics and is
+// bitwise-equal to Analyze on the same observations in any order. The
+// zero value is not usable; construct with NewStreamEstimator or
+// RestoreStream.
+//
+// All methods are safe for concurrent use, though the engine's commit
+// path is already serial; the lock mainly lets progress displays read
+// Live while a campaign is mid-batch.
+type StreamEstimator struct {
+	mu   sync.Mutex
+	opts StreamOptions
+	os   orderStats
+	n    int
+	best float64
+	hash uint64
+	live StreamLive
+}
+
+// NewStreamEstimator returns an empty estimator.
+func NewStreamEstimator(opts StreamOptions) *StreamEstimator {
+	opts = opts.withDefaults()
+	s := &StreamEstimator{opts: opts, hash: fnvOffset64}
+	if opts.AutoRefit {
+		s.live.NextRefitN = opts.FirstRefit
+	}
+	return s
+}
+
+// Observe commits one observation: order-statistics insertion, hash
+// fold, monotone live-summary updates, and — in AutoRefit mode — a refit
+// when the schedule comes due (automatic refit errors are not fatal to
+// the stream: an early sample may be legitimately too small or its tail
+// still unbounded, and the schedule simply advances; call Refit for the
+// error). Non-finite observations are rejected with ErrNonFiniteSample
+// before touching any state.
+func (s *StreamEstimator) Observe(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("%w: observation %d is %v", ErrNonFiniteSample, s.N(), x)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.os.insert(x)
+	s.hash = foldHash(s.hash, x)
+	s.n++
+	if s.n == 1 || x > s.best {
+		s.best = x
+	}
+	if s.live.Fitted && x > s.live.U {
+		s.live.TailCount++
+	}
+	if s.opts.AutoRefit && s.n >= s.live.NextRefitN {
+		s.refitLocked()
+	}
+	return nil
+}
+
+// ObserveAll commits each observation in order, stopping at the first
+// rejected one.
+func (s *StreamEstimator) ObserveAll(xs []float64) error {
+	for _, x := range xs {
+		if err := s.Observe(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// N is the number of committed observations.
+func (s *StreamEstimator) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// HashHex is the commit-order hash over everything observed so far, in
+// the format CommitOrderHash produces.
+func (s *StreamEstimator) HashHex() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return hashHex(s.hash)
+}
+
+// Live returns the current live summary.
+func (s *StreamEstimator) Live() StreamLive {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveLocked()
+}
+
+func (s *StreamEstimator) liveLocked() StreamLive {
+	l := s.live
+	l.N = s.n
+	l.Best = s.best
+	if s.n > 0 && l.Fitted {
+		l.TailMass = float64(l.TailCount) / float64(s.n)
+	}
+	return l
+}
+
+// Refit runs the full §3.3 analysis on the committed observations. On
+// success the live summary adopts the new threshold, interval and tail
+// count; on error (sample too small, degenerate or unbounded tail, ...)
+// the live summary keeps the previous fit and only the automatic
+// schedule advances. The returned Report is bitwise-equal to
+// Analyze(sample, opts.POT) for any commit order of the same sample.
+func (s *StreamEstimator) Refit() (Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refitLocked()
+}
+
+func (s *StreamEstimator) refitLocked() (Report, error) {
+	if s.opts.AutoRefit {
+		next := s.opts.FirstRefit
+		for next <= s.n {
+			grown := int(math.Ceil(float64(next) * s.opts.Growth))
+			if grown <= next {
+				grown = next + 1
+			}
+			next = grown
+		}
+		s.live.NextRefitN = next
+	}
+	rep, err := analyzeSorted(s.os.materialize(s.n), s.opts.POT)
+	if err != nil {
+		return Report{}, err
+	}
+	s.live.Fitted = true
+	s.live.U = rep.Threshold.U
+	s.live.TailCount = len(rep.Threshold.Exceedances)
+	s.live.UPB = rep.UPB.Point
+	s.live.Lo = rep.UPB.Lo
+	s.live.Hi = rep.UPB.Hi
+	s.live.RefitCount++
+	s.live.LastRefitN = s.n
+	return rep, nil
+}
+
+// Snapshot captures the estimator's complete serializable state.
+func (s *StreamEstimator) Snapshot() StreamState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.liveLocked()
+	st := StreamState{
+		N:          s.n,
+		Hash:       hashHex(s.hash),
+		Sorted:     s.os.materialize(s.n),
+		Best:       s.best,
+		Fitted:     l.Fitted,
+		U:          l.U,
+		TailCount:  l.TailCount,
+		UPBPoint:   l.UPB,
+		UPBLo:      l.Lo,
+		RefitCount: l.RefitCount,
+		LastRefitN: l.LastRefitN,
+		NextRefitN: l.NextRefitN,
+	}
+	if math.IsInf(l.Hi, 1) {
+		st.HiUnbounded = true
+	} else {
+		st.UPBHi = l.Hi
+	}
+	return st
+}
+
+// RestoreStream rebuilds an estimator from a checkpoint. The state is
+// validated structurally — observation count, sortedness, finiteness,
+// hash syntax — but the hash itself can only be verified by whoever
+// holds the original commit-order prefix (see CommitOrderHash); resume
+// paths do that against the replayed journal before feeding new
+// observations.
+func RestoreStream(st StreamState, opts StreamOptions) (*StreamEstimator, error) {
+	if st.N != len(st.Sorted) {
+		return nil, fmt.Errorf("evt: stream checkpoint carries %d observations but claims n=%d", len(st.Sorted), st.N)
+	}
+	if err := checkFiniteSample(st.Sorted); err != nil {
+		return nil, fmt.Errorf("evt: stream checkpoint: %w", err)
+	}
+	for i := 1; i < len(st.Sorted); i++ {
+		if st.Sorted[i] < st.Sorted[i-1] {
+			return nil, fmt.Errorf("evt: stream checkpoint observations not sorted at index %d", i)
+		}
+	}
+	hash := uint64(fnvOffset64)
+	if st.N > 0 {
+		var err error
+		hash, err = strconv.ParseUint(st.Hash, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("evt: stream checkpoint hash %q: %w", st.Hash, err)
+		}
+	}
+	s := NewStreamEstimator(opts)
+	s.os.fromSorted(st.Sorted)
+	s.n = st.N
+	s.hash = hash
+	s.best = st.Best
+	s.live.Fitted = st.Fitted
+	s.live.U = st.U
+	s.live.TailCount = st.TailCount
+	s.live.UPB = st.UPBPoint
+	s.live.Lo = st.UPBLo
+	s.live.Hi = st.UPBHi
+	if st.HiUnbounded {
+		s.live.Hi = math.Inf(1)
+	}
+	s.live.RefitCount = st.RefitCount
+	s.live.LastRefitN = st.LastRefitN
+	if st.NextRefitN > 0 {
+		s.live.NextRefitN = st.NextRefitN
+	}
+	return s, nil
+}

@@ -1,0 +1,392 @@
+package evt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// The differential suite behind the streaming estimator's central claim:
+// at every refit boundary, StreamEstimator.Refit is bitwise-equal to a
+// from-scratch Analyze on the same observations in commit order — for
+// any commit order, any interleaving of refits, and across a
+// snapshot/JSON/restore cycle.
+
+// reportBitsEqual walks two Reports field by field, comparing every
+// float64 by its IEEE-754 bits. Plain equality would hide exactly the
+// drift this suite exists to catch (and would misjudge ±Inf/−0 edges).
+func reportBitsEqual(t *testing.T, label string, a, b Report) {
+	t.Helper()
+	var walk func(path string, va, vb reflect.Value)
+	walk = func(path string, va, vb reflect.Value) {
+		switch va.Kind() {
+		case reflect.Float64:
+			if math.Float64bits(va.Float()) != math.Float64bits(vb.Float()) {
+				t.Errorf("%s: %s differs bitwise: %v (%016x) vs %v (%016x)",
+					label, path, va.Float(), math.Float64bits(va.Float()), vb.Float(), math.Float64bits(vb.Float()))
+			}
+		case reflect.Slice:
+			if va.Len() != vb.Len() {
+				t.Errorf("%s: %s length %d vs %d", label, path, va.Len(), vb.Len())
+				return
+			}
+			for i := 0; i < va.Len(); i++ {
+				walk(fmt.Sprintf("%s[%d]", path, i), va.Index(i), vb.Index(i))
+			}
+		case reflect.Struct:
+			for i := 0; i < va.NumField(); i++ {
+				walk(path+"."+va.Type().Field(i).Name, va.Field(i), vb.Field(i))
+			}
+		default:
+			if !va.CanInterface() {
+				return
+			}
+			if !reflect.DeepEqual(va.Interface(), vb.Interface()) {
+				t.Errorf("%s: %s differs: %v vs %v", label, path, va.Interface(), vb.Interface())
+			}
+		}
+	}
+	walk("Report", reflect.ValueOf(a), reflect.ValueOf(b))
+}
+
+// streamSamples are the suite's population shapes: a clean bounded GPD
+// tail, a uniform body, and a coarsely quantized (ties-heavy) sample
+// that exercises the tie-run snap-down inside the maintained order
+// statistics.
+func streamSamples(n int, seed int64) map[string][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	gpd := GPD{Xi: -0.3, Sigma: 5}.Sample(rng, n)
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 100
+	}
+	quantized := make([]float64, n)
+	for i := range quantized {
+		quantized[i] = math.Round(rng.Float64()*200) / 2
+	}
+	return map[string][]float64{"gpd": gpd, "uniform": uniform, "quantized": quantized}
+}
+
+func streamTestOpts() POTOptions {
+	return POTOptions{Threshold: ThresholdOptions{MaxExceedFraction: 0.1}}
+}
+
+// TestStreamRefitMatchesAnalyzeBitwise feeds each population in three
+// commit orders, refitting at several boundaries; every refit must agree
+// bitwise with Analyze on the commit-order prefix (or fail with the
+// identical error).
+func TestStreamRefitMatchesAnalyzeBitwise(t *testing.T) {
+	const n = 3000
+	opts := streamTestOpts()
+	for name, sample := range streamSamples(n, 77) {
+		orders := map[string][]float64{"natural": sample}
+		shuffled := append([]float64(nil), sample...)
+		rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		orders["shuffled"] = shuffled
+		descending := append([]float64(nil), sample...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(descending)))
+		orders["descending"] = descending
+
+		for orderName, xs := range orders {
+			t.Run(name+"/"+orderName, func(t *testing.T) {
+				s := NewStreamEstimator(StreamOptions{POT: opts})
+				checkpoints := map[int]bool{300: true, 500: true, 1000: true, 2200: true, n: true}
+				for i, x := range xs {
+					if err := s.Observe(x); err != nil {
+						t.Fatal(err)
+					}
+					if !checkpoints[i+1] {
+						continue
+					}
+					streamRep, streamErr := s.Refit()
+					batchRep, batchErr := Analyze(xs[:i+1], opts)
+					if fmt.Sprint(streamErr) != fmt.Sprint(batchErr) {
+						t.Fatalf("n=%d: stream err %v, batch err %v", i+1, streamErr, batchErr)
+					}
+					if streamErr == nil {
+						reportBitsEqual(t, fmt.Sprintf("n=%d", i+1), streamRep, batchRep)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamMatchesAnalyzeRandomized fuzzes sizes, seeds and shapes with
+// a single final refit each.
+func TestStreamMatchesAnalyzeRandomized(t *testing.T) {
+	opts := streamTestOpts()
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		n := 450 + rng.Intn(1200)
+		var xs []float64
+		switch trial % 3 {
+		case 0:
+			xs = GPD{Xi: -0.2 - rng.Float64()/2, Sigma: 1 + rng.Float64()*9}.Sample(rng, n)
+		case 1:
+			for i := 0; i < n; i++ {
+				xs = append(xs, rng.Float64()*1000)
+			}
+		default:
+			for i := 0; i < n; i++ {
+				xs = append(xs, math.Round(rng.Float64()*100))
+			}
+		}
+		s := NewStreamEstimator(StreamOptions{POT: opts})
+		if err := s.ObserveAll(xs); err != nil {
+			t.Fatal(err)
+		}
+		streamRep, streamErr := s.Refit()
+		batchRep, batchErr := Analyze(xs, opts)
+		if fmt.Sprint(streamErr) != fmt.Sprint(batchErr) {
+			t.Fatalf("trial %d (n=%d): stream err %v, batch err %v", trial, n, streamErr, batchErr)
+		}
+		if streamErr == nil {
+			reportBitsEqual(t, fmt.Sprintf("trial %d (n=%d)", trial, n), streamRep, batchRep)
+		}
+	}
+}
+
+// TestStreamSnapshotRestoreContinues snapshots mid-stream, round-trips
+// the state through JSON, and requires the restored estimator to track
+// the original — and the batch analysis — bitwise from there on.
+func TestStreamSnapshotRestoreContinues(t *testing.T) {
+	opts := streamTestOpts()
+	rng := rand.New(rand.NewSource(13))
+	xs := GPD{Xi: -0.35, Sigma: 3}.Sample(rng, 2500)
+	const cut = 1100
+
+	s := NewStreamEstimator(StreamOptions{POT: opts})
+	if err := s.ObserveAll(xs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refit(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Snapshot()
+	if got := CommitOrderHash(xs[:cut]); st.Hash != got {
+		t.Fatalf("snapshot hash %s, commit-order hash %s", st.Hash, got)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded StreamState
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStream(decoded, StreamOptions{POT: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != cut || restored.HashHex() != st.Hash {
+		t.Fatalf("restored n=%d hash=%s, want n=%d hash=%s", restored.N(), restored.HashHex(), cut, st.Hash)
+	}
+	if !reflect.DeepEqual(restored.Live(), s.Live()) {
+		t.Fatalf("restored live %+v differs from original %+v", restored.Live(), s.Live())
+	}
+
+	for _, est := range []*StreamEstimator{s, restored} {
+		if err := est.ObserveAll(xs[cut:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	origRep, origErr := s.Refit()
+	restRep, restErr := restored.Refit()
+	batchRep, batchErr := Analyze(xs, opts)
+	if origErr != nil || restErr != nil || batchErr != nil {
+		t.Fatalf("refit errors: orig %v, restored %v, batch %v", origErr, restErr, batchErr)
+	}
+	reportBitsEqual(t, "restored-vs-original", restRep, origRep)
+	reportBitsEqual(t, "restored-vs-batch", restRep, batchRep)
+	if s.HashHex() != restored.HashHex() {
+		t.Fatalf("hashes diverged: %s vs %s", s.HashHex(), restored.HashHex())
+	}
+}
+
+// TestStreamStateUnboundedHiJSON: +Inf cannot cross encoding/json, so an
+// unbounded upper bound must round-trip through the HiUnbounded flag.
+func TestStreamStateUnboundedHiJSON(t *testing.T) {
+	s := NewStreamEstimator(StreamOptions{})
+	if err := s.ObserveAll([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.live.Fitted = true
+	s.live.Hi = math.Inf(1)
+	st := s.Snapshot()
+	if !st.HiUnbounded || st.UPBHi != 0 {
+		t.Fatalf("snapshot of Hi=+Inf: %+v", st)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("state with unbounded Hi does not survive JSON: %v", err)
+	}
+	var decoded StreamState
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStream(decoded, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi := restored.Live().Hi; !math.IsInf(hi, 1) {
+		t.Fatalf("restored Hi = %v, want +Inf", hi)
+	}
+}
+
+// TestStreamObserveRejectsNonFinite: NaN/±Inf must be refused with the
+// typed error before touching any state.
+func TestStreamObserveRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := NewStreamEstimator(StreamOptions{})
+		if err := s.Observe(1.5); err != nil {
+			t.Fatal(err)
+		}
+		before := s.HashHex()
+		if err := s.Observe(bad); !errors.Is(err, ErrNonFiniteSample) {
+			t.Errorf("Observe(%v) = %v, want ErrNonFiniteSample", bad, err)
+		}
+		if s.N() != 1 || s.HashHex() != before {
+			t.Errorf("Observe(%v) mutated state: n=%d", bad, s.N())
+		}
+	}
+}
+
+// TestStreamAutoRefitSchedule: the doubling schedule fires at 64, 128,
+// 256, 512, ...; refits whose sample is still too small fail silently
+// (the stream keeps observing) and do not count, while the schedule
+// still advances.
+func TestStreamAutoRefitSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewStreamEstimator(StreamOptions{
+		POT:       POTOptions{Threshold: ThresholdOptions{MaxExceedFraction: 0.3}},
+		AutoRefit: true,
+	})
+	if err := s.ObserveAll(GPD{Xi: -0.3, Sigma: 5}.Sample(rng, 600)); err != nil {
+		t.Fatal(err)
+	}
+	l := s.Live()
+	// n=64 allows at most 19 exceedances at fraction 0.3 (< the minimum
+	// 20): that refit fails and is not counted; 128, 256 and 512 succeed.
+	if l.RefitCount != 3 {
+		t.Errorf("RefitCount = %d, want 3 (refits at 128, 256, 512; 64 too small)", l.RefitCount)
+	}
+	if l.LastRefitN != 512 {
+		t.Errorf("LastRefitN = %d, want 512", l.LastRefitN)
+	}
+	if l.NextRefitN != 1024 {
+		t.Errorf("NextRefitN = %d, want 1024", l.NextRefitN)
+	}
+	if !l.Fitted || l.UPB <= l.Best {
+		t.Errorf("live summary after auto refits: %+v", l)
+	}
+}
+
+// TestStreamLiveTailCount: between refits the exceedance count updates
+// per observation against the last threshold; a refit re-bases it on the
+// new threshold.
+func TestStreamLiveTailCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := GPD{Xi: -0.3, Sigma: 5}.Sample(rng, 1000)
+	s := NewStreamEstimator(StreamOptions{POT: streamTestOpts()})
+	if err := s.ObserveAll(xs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Refit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Live()
+	if l.TailCount != len(rep.Threshold.Exceedances) {
+		t.Fatalf("TailCount after refit = %d, want %d", l.TailCount, len(rep.Threshold.Exceedances))
+	}
+	u := rep.Threshold.U
+	above, below := u+1, u-1
+	for _, x := range []float64{above, below, above} {
+		if err := s.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2 := s.Live()
+	if l2.TailCount != l.TailCount+2 {
+		t.Errorf("TailCount = %d after 2 exceedances, want %d", l2.TailCount, l.TailCount+2)
+	}
+	if want := float64(l2.TailCount) / float64(l2.N); l2.TailMass != want {
+		t.Errorf("TailMass = %v, want %v", l2.TailMass, want)
+	}
+	if l2.Best < above {
+		t.Errorf("Best = %v, want >= %v", l2.Best, above)
+	}
+}
+
+// TestOrderStatsMatchesSort: the chunked structure must materialize to
+// exactly sort.Float64s of its inputs across split boundaries, and keep
+// every chunk within the split bound.
+func TestOrderStatsMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var o orderStats
+	var all []float64
+	for i := 0; i < 5000; i++ {
+		x := math.Round(rng.Float64()*1000) / 4 // ties included
+		o.insert(x)
+		all = append(all, x)
+	}
+	want := append([]float64(nil), all...)
+	sort.Float64s(want)
+	got := o.materialize(len(all))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("materialized order statistics differ from sort.Float64s")
+	}
+	for i, c := range o.chunks {
+		if len(c) == 0 || len(c) > streamChunkMax {
+			t.Fatalf("chunk %d has %d elements", i, len(c))
+		}
+	}
+}
+
+// TestRestoreStreamValidates: corrupt checkpoints must be refused.
+func TestRestoreStreamValidates(t *testing.T) {
+	good := StreamState{N: 3, Hash: CommitOrderHash([]float64{3, 1, 2}), Sorted: []float64{1, 2, 3}, Best: 3}
+	if _, err := RestoreStream(good, StreamOptions{}); err != nil {
+		t.Fatalf("valid state refused: %v", err)
+	}
+	cases := map[string]StreamState{
+		"count-mismatch": {N: 4, Hash: good.Hash, Sorted: []float64{1, 2, 3}},
+		"unsorted":       {N: 3, Hash: good.Hash, Sorted: []float64{2, 1, 3}},
+		"non-finite":     {N: 3, Hash: good.Hash, Sorted: []float64{1, 2, math.Inf(1)}},
+		"bad-hash":       {N: 3, Hash: "not-hex", Sorted: []float64{1, 2, 3}},
+	}
+	for name, st := range cases {
+		if _, err := RestoreStream(st, StreamOptions{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCommitOrderHashOrderSensitive: the hash identifies the commit
+// order, not just the multiset, and matches the estimator's running
+// value.
+func TestCommitOrderHashOrderSensitive(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if CommitOrderHash(xs) == CommitOrderHash([]float64{1, 2, 3, 4, 5}) {
+		t.Fatal("hash ignores commit order")
+	}
+	s := NewStreamEstimator(StreamOptions{})
+	if err := s.ObserveAll(xs); err != nil {
+		t.Fatal(err)
+	}
+	if s.HashHex() != CommitOrderHash(xs) {
+		t.Fatalf("estimator hash %s, CommitOrderHash %s", s.HashHex(), CommitOrderHash(xs))
+	}
+	if NewStreamEstimator(StreamOptions{}).HashHex() != CommitOrderHash(nil) {
+		t.Fatal("empty-stream hash differs from CommitOrderHash(nil)")
+	}
+}

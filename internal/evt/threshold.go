@@ -1,9 +1,30 @@
 package evt
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
+
+// ErrNonFiniteSample reports a NaN or ±Inf observation handed to the POT
+// pipeline. sort.Float64s leaves NaN placement unspecified, so a single
+// NaN would make threshold selection — and everything fitted downstream —
+// nondeterministic; rejecting at the entry turns that silent
+// nondeterminism into a typed error. The campaign journal already refuses
+// non-finite performances, but calibrate populations and direct evt
+// callers do not go through the journal.
+var ErrNonFiniteSample = errors.New("evt: sample contains a non-finite observation")
+
+// checkFiniteSample is the pipeline-entry guard behind ErrNonFiniteSample.
+func checkFiniteSample(xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: observation %d is %v", ErrNonFiniteSample, i, x)
+		}
+	}
+	return nil
+}
 
 // ThresholdRule selects how the POT threshold u is chosen.
 type ThresholdRule int
@@ -52,7 +73,13 @@ type Threshold struct {
 	U           float64   // the threshold
 	Exceedances []float64 // y_i = x_i − u for x_i > u, ascending
 	Linearity   LinearFit // mean-excess line fit over points ≥ u
-	QQCorr      float64   // quantile-plot straightness of the GPD fit (RuleAuto)
+	// LinearityOK reports that Linearity holds a real mean-excess line
+	// fit. False means the fit was unavailable at this threshold — e.g. a
+	// tie-run snap-down left fewer than two distinct mean-excess points
+	// at or above u — and the zero-valued Linearity is "no diagnostic",
+	// not evidence of a perfectly non-linear tail.
+	LinearityOK bool
+	QQCorr      float64 // quantile-plot straightness of the GPD fit (RuleAuto)
 }
 
 // SelectThreshold chooses a POT threshold for the raw sample xs.
@@ -62,15 +89,29 @@ type Threshold struct {
 // at MaxExceedFraction·n to avoid biasing the GPD toward the body of the
 // distribution, and floored at MinExceedances so the fit has enough data.
 func SelectThreshold(xs []float64, opts ThresholdOptions) (Threshold, error) {
+	if err := checkFiniteSample(xs); err != nil {
+		return Threshold{}, err
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return selectThresholdSorted(sorted, opts)
+}
+
+// selectThresholdSorted is SelectThreshold on a sample already validated
+// finite and sorted ascending. It never mutates sorted and never retains
+// it (exceedance sets are fresh slices). The streaming estimator calls it
+// directly on its maintained order statistics — because sorting is a
+// permutation and every downstream quantity is computed from the sorted
+// order, the result is bitwise-identical to SelectThreshold on any
+// permutation of the same observations.
+func selectThresholdSorted(sorted []float64, opts ThresholdOptions) (Threshold, error) {
 	o := opts.withDefaults()
-	n := len(xs)
+	n := len(sorted)
 	maxM := int(float64(n) * o.MaxExceedFraction)
 	if maxM < o.MinExceedances {
 		return Threshold{}, fmt.Errorf("%w: %d observations allow at most %d exceedances at fraction %.3f, need >= %d",
 			ErrSampleTooSmall, n, maxM, o.MaxExceedFraction, o.MinExceedances)
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 
 	mePoints, err := MeanExcess(sorted)
 	if err != nil {
@@ -112,11 +153,16 @@ func SelectThreshold(xs []float64, opts ThresholdOptions) (Threshold, error) {
 		if len(ys) < o.MinExceedances {
 			return Threshold{}, fmt.Errorf("%w: only %d exceedances above u=%v", ErrSampleTooSmall, len(ys), u)
 		}
-		lin, err := MeanExcessLinearity(mePoints, u)
-		if err != nil {
-			lin = LinearFit{}
+		// A snapped-down threshold can leave too few mean-excess points at
+		// or above u to fit a line. That is a missing diagnostic, not a
+		// zero one: LinearityOK distinguishes "no fit available" from a
+		// genuine R² of 0, so reports never present a snapped threshold as
+		// perfectly non-linear.
+		thr := Threshold{U: u, Exceedances: ys}
+		if lin, err := MeanExcessLinearity(mePoints, u); err == nil {
+			thr.Linearity, thr.LinearityOK = lin, true
 		}
-		return Threshold{U: u, Exceedances: ys, Linearity: lin}, nil
+		return thr, nil
 	}
 
 	if o.Rule == RuleMaxFraction {
@@ -142,6 +188,12 @@ func SelectThreshold(xs []float64, opts ThresholdOptions) (Threshold, error) {
 		}
 		switch o.Rule {
 		case RuleLinearityScan:
+			if !cand.LinearityOK {
+				// No linearity diagnostic exists for this candidate (tie-run
+				// snap-down); it cannot be scored, rather than scoring as a
+				// perfect non-linearity of 0.
+				continue
+			}
 			cands = append(cands, candidate{thr: cand, score: cand.Linearity.R2, bounded: true})
 		default: // RuleAuto
 			fit, err := FitGPD(cand.Exceedances)
