@@ -13,12 +13,14 @@ import (
 	"io"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
 	"optassign/internal/apps"
 	"optassign/internal/assign"
 	"optassign/internal/campaign"
+	"optassign/internal/cas"
 	"optassign/internal/core"
 	"optassign/internal/evt"
 	"optassign/internal/exp"
@@ -384,6 +386,165 @@ func BenchmarkCachedSampling(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sample(b, cached)
+		}
+	})
+}
+
+// BenchmarkBatchSampling compares cold cycle-path sampling per assignment
+// (one Sim built and run per draw) against the core-sharded batch path
+// (one BatchSim, shared packet programs, arena strands, all CPUs). The
+// ratio is the wall-clock speedup -batch buys a cold campaign; the CI gate
+// TestBatchSamplingSpeedup pins it at >= 2x on multi-core runners.
+func BenchmarkBatchSampling(b *testing.B) {
+	tb, as := batchSamplingFixture(b)
+	const packets = 200
+	b.Run("per-assignment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, a := range as {
+				if _, err := tb.MeasureCycle(a, packets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, errs := tb.MeasureCycleBatch(as, packets)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func batchSamplingFixture(tb testing.TB) (*netdps.Testbed, []assign.Assignment) {
+	tb.Helper()
+	t, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	as := make([]assign.Assignment, 64)
+	for i := range as {
+		a, err := assign.RandomPermutation(rng, t.Machine.Topo, t.TaskCount())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		as[i] = a
+	}
+	return t, as
+}
+
+// TestBatchSamplingSpeedup is the CI perf gate on the batch tentpole: on a
+// multi-core runner, batched cold sampling must be at least 2x faster than
+// per-assignment sampling over the identical draw set. Skipped on boxes
+// too small for core sharding to pay (the CI runners have 4 vCPUs).
+func TestBatchSamplingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf gate skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for the sharding gate, have %d", runtime.NumCPU())
+	}
+	tb, as := batchSamplingFixture(t)
+	const packets, reps = 200, 3
+	tb.MeasureCycleBatch(as[:1], packets) // build the shared BatchSim outside timing
+	timeIt := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := timeIt(func() {
+		for _, a := range as {
+			if _, err := tb.MeasureCycle(a, packets); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	batched := timeIt(func() {
+		_, errs := tb.MeasureCycleBatch(as, packets)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if speedup := float64(serial) / float64(batched); speedup < 2 {
+		t.Fatalf("batched sampling speedup %.2fx (serial %v, batched %v), gate requires >= 2x",
+			speedup, serial, batched)
+	}
+}
+
+// TestCycleMeasurementAllocBudget pins the cycle simulator's allocation
+// count per measurement (satellite of the batch tentpole: the wake-heap
+// and rollup buffers must stay hoisted). The budget is the seed's 52; a
+// regression here means a reusable buffer went back to per-run make().
+func TestCycleMeasurementAllocBudget(t *testing.T) {
+	tb, as := batchSamplingFixture(t)
+	a := as[0]
+	if _, err := tb.MeasureCycle(a, 200); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := tb.MeasureCycle(a, 200); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 52 {
+		t.Fatalf("MeasureCycle costs %.0f allocs, budget is 52 (seed baseline)", allocs)
+	}
+}
+
+// BenchmarkDiskCachedSampling draws the duplicate-heavy sample of
+// BenchmarkCachedSampling through the two-tier cache: cold (empty LRU,
+// empty store), and warm-disk — a fresh process whose LRU is empty but
+// whose store directory survives. The warm-disk case is the steady state
+// of repeated campaigns over one -cache-dir.
+func BenchmarkDiskCachedSampling(b *testing.B) {
+	tb, err := netdps.NewTestbed(apps.NewIPFwd(apps.IPFwdL1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const draws = 500
+	sample := func(b *testing.B, runner core.Runner) {
+		rng := rand.New(rand.NewSource(6))
+		if _, err := core.CollectSample(rng, tb.Machine.Topo, tb.TaskCount(), draws, runner); err != nil {
+			b.Fatal(err)
+		}
+	}
+	diskRunner := func(dir string) core.Runner {
+		store, err := cas.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { store.Close() })
+		c := core.NewCache(0, nil)
+		c.AttachStore(store)
+		return core.NewCachedRunner(tb, c, tb.Identity())
+	}
+	b.Run("disk-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := filepath.Join(b.TempDir(), "store")
+			b.StartTimer()
+			sample(b, diskRunner(dir))
+		}
+	})
+	b.Run("disk-warm", func(b *testing.B) {
+		dir := filepath.Join(b.TempDir(), "store")
+		sample(b, diskRunner(dir)) // a prior process fills the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sample(b, diskRunner(dir)) // fresh LRU + fresh handle every run
 		}
 	})
 }

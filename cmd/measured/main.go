@@ -9,6 +9,7 @@
 //	measured [-addr :9120] [-benchmark IPFwd-L1] [-instances 8] [-seed 1]
 //	         [-read-timeout 5m] [-drain 10s] [-metrics-addr :9121]
 //	         [-register controller:9130] [-advertise host:9120]
+//	         [-cache] [-cache-size 4096] [-cache-dir DIR]
 //
 // Drive it with cmd/optassign -connect host:9120, or join a dynamic fleet
 // with -register: the server announces itself (topology, task count,
@@ -27,6 +28,13 @@
 // registry acknowledges — then live connections drain for up to -drain,
 // then the process exits. A drained exit loses zero committed
 // measurements.
+//
+// Memoization: -cache serves structurally duplicate assignments from
+// memory server-side, so several controllers (or one controller re-running
+// campaigns) share measurements of symmetric assignments. -cache-dir DIR
+// (implies -cache) persists the memoized classes to a checksummed
+// append-only store in DIR, shared across restarts and across measured
+// processes on one host; delete the directory to invalidate it.
 //
 // Observability: -metrics-addr serves Prometheus text-format metrics at
 // /metrics (connections, requests, measurement latency) and a JSON
@@ -48,6 +56,8 @@ import (
 	"time"
 
 	"optassign/internal/apps"
+	"optassign/internal/cas"
+	"optassign/internal/core"
 	"optassign/internal/netdps"
 	"optassign/internal/netgen"
 	"optassign/internal/obs"
@@ -67,6 +77,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty disables)")
 	register := flag.String("register", "", "join the fleet registry at this address (see optassign -registry; empty disables)")
 	advertise := flag.String("advertise", "", "measurement address to advertise to the registry (default: the first -addr)")
+	cacheOn := flag.Bool("cache", false, "memoize measurements by canonical assignment class, shared by every connection this server handles")
+	cacheSize := flag.Int("cache-size", 4096, "canonical classes kept by -cache before LRU eviction")
+	cacheDir := flag.String("cache-dir", "", "persist memoized classes to this directory, shared across restarts and processes (implies -cache; delete the directory to invalidate)")
 	flag.Parse()
 
 	app, err := apps.ByName(*benchmark, netgen.DefaultProfile())
@@ -76,6 +89,29 @@ func main() {
 	tb, err := netdps.NewTestbed(app, *instances, netdps.WithSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cacheDir != "" {
+		*cacheOn = true
+	}
+	// One registry serves both the cache metrics and (when enabled) the
+	// /metrics endpoint; nil-safe throughout, so no endpoint costs nothing.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var runner core.Runner = tb
+	if *cacheOn {
+		c := core.NewCache(*cacheSize, core.NewCacheMetrics(reg))
+		if *cacheDir != "" {
+			store, serr := cas.Open(*cacheDir)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			defer store.Close()
+			c.AttachStore(store)
+			fmt.Printf("persistent measurement store at %s: %d classes on disk\n", *cacheDir, store.Len())
+		}
+		runner = core.NewCachedRunner(tb, c, tb.Identity())
 	}
 	var listeners []net.Listener
 	for _, a := range strings.Split(*addr, ",") {
@@ -95,7 +131,7 @@ func main() {
 		log.Fatal("-addr names no listen address")
 	}
 	srv := &remote.Server{
-		Runner:      tb,
+		Runner:      runner,
 		Topo:        tb.Machine.Topo,
 		Tasks:       tb.TaskCount(),
 		Name:        app.Name(),
@@ -106,7 +142,6 @@ func main() {
 	// competes with the measurement protocol for the main ports.
 	var obsSrv *http.Server
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
 		srv.Metrics = remote.NewServerMetrics(reg)
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {

@@ -12,7 +12,7 @@
 //	          [-timeout 30s] [-retries 3] [-journal run.journal] [-resume]
 //	          [-workers 8] [-connect host1:7070,host2:7070]
 //	          [-registry :9140] [-min-servers 1]
-//	          [-cache] [-cache-size 4096]
+//	          [-cache] [-cache-size 4096] [-cache-dir DIR] [-batch 64]
 //	          [-progress] [-metrics-addr :9130]
 //
 // Search strategy: -strategy picks how assignment draws are generated —
@@ -54,7 +54,19 @@
 // sharing and the same performance) from memory instead of re-measuring,
 // keeping at most -cache-size classes. Results and journal bytes are
 // identical with the cache on or off; disable it on testbeds whose noise
-// should be sampled independently per measurement.
+// should be sampled independently per measurement. -cache-dir DIR (which
+// implies -cache) additionally persists every measured class to an
+// append-only, checksummed store in DIR, shared across runs and across
+// concurrent processes via file locking: a repeated or resumed campaign
+// re-measures nothing it has ever measured before. Delete the directory
+// to invalidate the store (after changing the testbed model, say).
+//
+// Batching: -batch N measures draws in chunks of N on the local testbed —
+// each chunk is probed against the cache at once and only the unique
+// still-unmeasured classes are evaluated, core-sharded across the CPUs.
+// Results and journal bytes stay byte-identical to a serial run; only the
+// wall-clock drops. It is mutually exclusive with -workers and with
+// remote measurement (which parallelize with -workers instead).
 //
 // Observability: -progress keeps a live status line on stderr (sample
 // count, best observed, ÛPB and its CI, the convergence gap, retries and
@@ -83,6 +95,7 @@ import (
 	"optassign/internal/apps"
 	"optassign/internal/assign"
 	"optassign/internal/campaign"
+	"optassign/internal/cas"
 	"optassign/internal/core"
 	"optassign/internal/evt"
 	"optassign/internal/netdps"
@@ -198,6 +211,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume the campaign from the -journal file instead of starting over")
 	cacheOn := flag.Bool("cache", false, "memoize measurements by canonical assignment class: symmetric assignments (identical resource sharing) share one testbed run")
 	cacheSize := flag.Int("cache-size", 4096, "canonical classes kept by -cache before LRU eviction")
+	cacheDir := flag.String("cache-dir", "", "persist memoized classes to this directory, shared across runs and processes (implies -cache; delete the directory to invalidate)")
+	batchSize := flag.Int("batch", 0, "measure draws in core-sharded batches of this size on the local testbed (0 disables; mutually exclusive with -workers and remote measurement)")
 	progress := flag.Bool("progress", false, "keep a live status line on stderr as the campaign converges")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the campaign runs (empty disables)")
 	strategy := flag.String("strategy", "uniform",
@@ -223,6 +238,17 @@ func main() {
 	}
 	if *registry != "" && *connect != "" {
 		log.Fatal("-registry and -connect are mutually exclusive: a fleet is either dynamic or a static list")
+	}
+	if *batchSize > 0 {
+		if *workers > 1 {
+			log.Fatal("-batch and -workers are mutually exclusive: the batch path already shards across cores")
+		}
+		if *connect != "" || *registry != "" {
+			log.Fatal("-batch measures on the local testbed; remote testbeds parallelize with -workers instead")
+		}
+	}
+	if *cacheDir != "" {
+		*cacheOn = true
 	}
 
 	var addrs []string
@@ -404,9 +430,25 @@ func main() {
 	// cache sits inside journaling — every draw, hit or miss, is still
 	// journaled — and single-flight keeps concurrent workers from measuring
 	// one class twice, so journal bytes are identical with -cache on or off.
+	// With -cache-dir, a persistent content-addressed store backs the LRU
+	// as a second tier: classes evicted from memory — or measured by a
+	// previous run, or by another process sharing the directory — are
+	// served from disk instead of the testbed.
+	var cached *core.CachedRunner
 	if *cacheOn {
 		cm := core.NewCacheMetrics(reg)
-		runner = core.NewCachedContextRunner(runner, core.NewCache(*cacheSize, cm), identity)
+		c := core.NewCache(*cacheSize, cm)
+		if *cacheDir != "" {
+			store, serr := cas.Open(*cacheDir)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			defer store.Close()
+			c.AttachStore(store)
+			fmt.Printf("persistent measurement store at %s: %d classes on disk\n", *cacheDir, store.Len())
+		}
+		cached = core.NewCachedContextRunner(runner, c, identity)
+		runner = cached
 		if prog != nil {
 			prog.cachem = cm
 		}
@@ -477,7 +519,33 @@ func main() {
 	defer stop()
 
 	var res core.IterResult
-	if nWorkers > 1 {
+	switch {
+	case *batchSize > 0:
+		// Batched measurement: chunks of draws resolve against the cache
+		// tiers together and the unique misses run core-sharded on the
+		// testbed's batch path. Commits land in draw order, so the journal
+		// and the recorded campaign stay byte-identical to a serial run.
+		var commits []core.CommitFunc
+		if j != nil {
+			commits = append(commits, j.Commit)
+		}
+		if recorded != nil {
+			commits = append(commits, recorded.Commit)
+		}
+		if cached == nil {
+			// No -cache: the batch path still needs the runner that knows
+			// how to reach the source's batch capability; a nil cache
+			// disables memoization but keeps the core sharding.
+			cached = core.NewCachedContextRunner(runner, nil, identity)
+		}
+		if *retries > 0 || *timeout > 0 {
+			fmt.Println("note: -retries/-timeout wrap each measurement individually, so -batch falls back to per-draw measurement under the resilient runner")
+		}
+		fmt.Printf("measuring in core-sharded batches of %d\n", *batchSize)
+		res, err = core.IterateBatched(ctx, cfg, cached,
+			core.BatchOptions{Size: *batchSize, Metrics: core.NewBatchMetrics(reg)},
+			core.ChainCommits(commits...))
+	case nWorkers > 1:
 		// Parallel fan-out: the shared measurement stack feeds nWorkers
 		// concurrent workers; completions commit to the journal and the
 		// recorded campaign strictly in draw order, so everything written
@@ -500,7 +568,7 @@ func main() {
 		}
 		fmt.Printf("measuring with %d parallel workers\n", nWorkers)
 		res, err = core.IterateParallel(ctx, cfg, pool, core.ChainCommits(commits...))
-	} else {
+	default:
 		if j != nil {
 			runner = campaign.JournalRunner{Journal: j, Runner: runner}
 		}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package cas
+
+// Non-unix platforms get no cross-process append serialization: the store
+// stays crash-safe and correct for one process (s.mu serializes in-process
+// appends, records stay self-checking), but two processes sharing one
+// directory may append the same class twice — harmless, since duplicate
+// records carry identical values and the index keeps the first.
+func flockEx(f interface{ Fd() uintptr }) error { return nil }
+
+func funlock(f interface{ Fd() uintptr }) {}

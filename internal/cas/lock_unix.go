@@ -1,0 +1,24 @@
+//go:build unix
+
+package cas
+
+import "syscall"
+
+// flockEx takes an exclusive advisory lock on f, blocking until it is
+// granted. EINTR is retried: a signal during a blocking flock must not
+// surface as a store failure.
+func flockEx(f interface{ Fd() uintptr }) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// funlock releases the advisory lock. Errors are ignored — the lock dies
+// with the descriptor anyway, and a failed unlock must not mask the
+// operation it was guarding.
+func funlock(f interface{ Fd() uintptr }) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,323 @@
+// Package cas is a persistent, content-addressed store for measured
+// performance values — the disk tier of the measurement cache. The paper's
+// symmetry argument makes a canonical assignment class's performance a pure
+// function of (testbed identity, topology, canonical form); cas persists
+// that function's graph, so a class measured by ANY prior campaign on a
+// host — last week's run, a sibling fleet member, a killed-and-resumed
+// process — is never simulated again.
+//
+// Layout: one directory holding a single append-only segment file plus a
+// lock file. Every record is self-checking:
+//
+//	[keyLen u32 LE][crc32 u32 LE][key bytes][perf float64 bits LE]
+//
+// with the CRC taken over key+perf. The in-memory index is rebuilt by
+// scanning the segment at Open; nothing else is ever persisted, so there
+// is no index to corrupt. Records are immutable and duplicate appends of a
+// key are harmless (first-writer-wins in the index — the value is a pure
+// function of the key, so duplicates carry the same performance).
+//
+// Crash safety: each Put is a single O_APPEND write followed by fsync. A
+// crash mid-append leaves a torn tail that fails its length or CRC check;
+// Open (and any writer holding the exclusive lock) truncates the torn
+// tail away, while lock-free readers simply stop scanning at it. A torn
+// tail can therefore never poison the index — it is detected, rejected
+// and removed, and only whole fsynced records survive a kill at any
+// instant.
+//
+// Concurrency: one process may share a Store across goroutines (all
+// methods lock s.mu). Several PROCESSES may share one directory: appends
+// serialize on an flock'd lock file, and a Get miss triggers a catch-up
+// scan of whatever other processes appended since, so fleet members on a
+// host see each other's measurements within one lookup. Readers take no
+// lock — the file only grows (truncation happens only under the exclusive
+// lock, and only ever removes bytes no reader could have validated).
+package cas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// segmentName is the single append-only data file inside a store
+// directory; lockName is the flock target serializing cross-process
+// appends (flocking the segment itself would race with O_APPEND dups on
+// some platforms).
+const (
+	segmentName = "measurements.cas"
+	lockName    = "lock"
+)
+
+// header identifies a segment file. The version byte lets a future format
+// refuse old files instead of misparsing them.
+var header = []byte{'O', 'C', 'A', 'S', 1, 0, 0, 0}
+
+// maxKeyLen bounds a record's key so a corrupt length prefix cannot make
+// the scanner allocate gigabytes. Cache keys are identity+topology+
+// canonical form — a few hundred bytes in practice.
+const maxKeyLen = 1 << 20
+
+// ErrCorruptHeader reports a segment whose leading bytes are not a cas
+// header — the directory holds something that is not a measurement store.
+var ErrCorruptHeader = errors.New("cas: segment header mismatch (not a measurement store, or an incompatible version)")
+
+// Store is an open measurement store. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	seg     *os.File // O_APPEND data file
+	lock    *os.File // flock target for cross-process append ordering
+	index   map[string]float64
+	scanned int64 // segment bytes validated into the index
+}
+
+// Open opens (creating if absent) the store in dir. The segment is
+// scanned to rebuild the index; a torn tail left by a crashed writer is
+// truncated away under the exclusive lock.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	seg, err := os.OpenFile(filepath.Join(dir, segmentName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	s := &Store{dir: dir, seg: seg, lock: lock, index: make(map[string]float64)}
+
+	// Header and torn-tail repair happen under the exclusive lock: no
+	// other process can be mid-append, so an invalid tail is a crash
+	// leftover and safe to cut.
+	if err := flockEx(lock); err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("cas: locking %s: %w", dir, err)
+	}
+	defer funlock(lock)
+	fi, err := seg.Stat()
+	if err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	switch {
+	case fi.Size() == 0:
+		if _, err := seg.Write(header); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("cas: writing header: %w", err)
+		}
+		if err := seg.Sync(); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("cas: %w", err)
+		}
+		s.scanned = int64(len(header))
+	default:
+		if err := s.checkHeader(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.scanned = int64(len(header))
+		if err := s.catchUpLocked(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		// Whatever failed validation past s.scanned is a torn tail; cut it
+		// so future appends extend a clean log.
+		if fi2, err := seg.Stat(); err == nil && fi2.Size() > s.scanned {
+			if err := seg.Truncate(s.scanned); err != nil {
+				s.closeFiles()
+				return nil, fmt.Errorf("cas: truncating torn tail: %w", err)
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) closeFiles() {
+	s.seg.Close()
+	s.lock.Close()
+}
+
+// checkHeader validates the segment's leading bytes.
+func (s *Store) checkHeader() error {
+	buf := make([]byte, len(header))
+	if _, err := s.seg.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("cas: reading header: %w", err)
+	}
+	for i, b := range header {
+		if buf[i] != b {
+			return ErrCorruptHeader
+		}
+	}
+	return nil
+}
+
+// catchUpLocked scans segment bytes from s.scanned to EOF, adding every
+// valid record to the index and leaving s.scanned at the end of the last
+// valid record. Caller holds s.mu (or is inside Open). It never treats an
+// invalid record as fatal — that is how a torn tail (or a concurrent
+// writer's half-visible append) presents, and the caller decides whether
+// to truncate (exclusive-lock holders) or ignore it (readers).
+func (s *Store) catchUpLocked() error {
+	fi, err := s.seg.Stat()
+	if err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	size := fi.Size()
+	if size < s.scanned {
+		// The segment shrank under us — only a torn-tail truncation by
+		// another writer can do that, and it only removes bytes that never
+		// validated, so our index holds no record from the removed range.
+		// Restart the unvalidated region at the new end of file.
+		s.scanned = size
+		return nil
+	}
+	if size == s.scanned {
+		return nil
+	}
+	r := io.NewSectionReader(s.seg, s.scanned, size-s.scanned)
+	var prefix [8]byte
+	off := s.scanned
+	for {
+		if _, err := io.ReadFull(r, prefix[:]); err != nil {
+			return nil // clean EOF or torn length prefix: stop here
+		}
+		keyLen := binary.LittleEndian.Uint32(prefix[0:4])
+		crc := binary.LittleEndian.Uint32(prefix[4:8])
+		if keyLen == 0 || keyLen > maxKeyLen {
+			return nil // corrupt length: torn tail starts at off
+		}
+		payload := make([]byte, int(keyLen)+8)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // record cut short: torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // bit rot or torn write: reject the tail
+		}
+		key := string(payload[:keyLen])
+		perf := bitsToFloat(payload[keyLen:])
+		if _, ok := s.index[key]; !ok {
+			s.index[key] = perf
+		}
+		off += int64(8 + len(payload))
+		s.scanned = off
+	}
+}
+
+// Get returns the stored performance for key. A warm hit is a single map
+// read — no locks beyond s.mu, no syscalls, no allocations. On a miss the
+// store catches up on records other processes appended since the last
+// scan and retries, so one host's fleet members serve each other within a
+// lookup.
+func (s *Store) Get(key string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if perf, ok := s.index[key]; ok {
+		return perf, true
+	}
+	// Miss: another process may have measured this class since our last
+	// scan. The catch-up is one stat plus a read of only the new bytes,
+	// both trivial next to the simulation a true miss costs.
+	if err := s.catchUpLocked(); err != nil {
+		return 0, false
+	}
+	perf, ok := s.index[key]
+	return perf, ok
+}
+
+// Put appends (key, perf) and fsyncs it. Appends from all processes
+// serialize on the lock file; a key already present (here or appended by
+// a peer since our last scan) is not written again.
+func (s *Store) Put(key string, perf float64) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("cas: invalid key length %d", len(key))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	if err := flockEx(s.lock); err != nil {
+		return fmt.Errorf("cas: locking: %w", err)
+	}
+	defer funlock(s.lock)
+	// Under the exclusive lock: absorb peers' appends (the key may have
+	// landed already), and cut any crash-torn tail so our record extends
+	// a clean log.
+	if err := s.catchUpLocked(); err != nil {
+		return err
+	}
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	if fi, err := s.seg.Stat(); err == nil && fi.Size() > s.scanned {
+		if err := s.seg.Truncate(s.scanned); err != nil {
+			return fmt.Errorf("cas: truncating torn tail: %w", err)
+		}
+	}
+	rec := make([]byte, 8+len(key)+8)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	copy(rec[8:], key)
+	floatToBits(rec[8+len(key):], perf)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(rec[8:]))
+	if _, err := s.seg.Write(rec); err != nil {
+		return fmt.Errorf("cas: appending record: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("cas: syncing record: %w", err)
+	}
+	s.index[key] = perf
+	s.scanned += int64(len(rec))
+	return nil
+}
+
+// Len reports the number of distinct keys in the index.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes reports the validated segment size — the on-disk footprint of the
+// store as of the last scan.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scanned
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the store's files. The segment needs no final flush —
+// every Put synced itself.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err1 := s.seg.Close()
+	err2 := s.lock.Close()
+	if err1 != nil {
+		return fmt.Errorf("cas: %w", err1)
+	}
+	if err2 != nil {
+		return fmt.Errorf("cas: %w", err2)
+	}
+	return nil
+}
+
+func bitsToFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func floatToBits(b []byte, f float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+}

@@ -36,6 +36,7 @@ type Cache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 	flights map[string]*flight
+	store   CacheStore // optional persistent L2 tier; see diskcache.go
 	m       *CacheMetrics
 }
 
@@ -81,19 +82,25 @@ func (c *Cache) Len() int {
 
 // do returns the memoized value for key, joining an in-flight measurement
 // when one exists and otherwise leading one via measure.
+//
+// Metric discipline: the hit, miss and coalesced counters are bumped in
+// the same critical section as the map state they describe, so a /metrics
+// scrape can never observe hits+misses smaller than the lookups already
+// answered (the counters may run ahead of returns, never behind the
+// cache's visible state).
 func (c *Cache) do(ctx context.Context, key string, measure func() (float64, error)) (float64, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.order.MoveToFront(el)
 			perf := el.Value.(*cacheEntry).perf
-			c.mu.Unlock()
 			c.m.hits().Inc()
+			c.mu.Unlock()
 			return perf, nil
 		}
 		if f, ok := c.flights[key]; ok {
-			c.mu.Unlock()
 			c.m.coalesced().Inc()
+			c.mu.Unlock()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -115,6 +122,20 @@ func (c *Cache) do(ctx context.Context, key string, measure func() (float64, err
 		c.flights[key] = f
 		c.mu.Unlock()
 
+		// Leading. The persistent tier answers before the testbed does: a
+		// class measured by any prior process sharing the store resolves
+		// the whole flight without a simulation.
+		if perf, ok := c.storeGet(key); ok {
+			f.perf, f.err = perf, nil
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.storeLocked(key, perf) // promote into L1
+			c.m.hits().Inc()
+			c.mu.Unlock()
+			close(f.done)
+			return perf, nil
+		}
+
 		c.m.inflight().Inc()
 		perf, err := measure()
 		c.m.inflight().Dec()
@@ -125,11 +146,47 @@ func (c *Cache) do(ctx context.Context, key string, measure func() (float64, err
 		if err == nil {
 			c.storeLocked(key, perf)
 		}
+		c.m.misses().Inc()
 		c.mu.Unlock()
 		close(f.done)
-		c.m.misses().Inc()
+		if err == nil {
+			c.storePut(key, perf)
+		}
 		return perf, err
 	}
+}
+
+// lookup probes both cache tiers for key without joining or leading a
+// flight; a disk hit is promoted into L1. It is the batch path's probe:
+// the batched collector separates hits from misses up front, then
+// measures all misses in one core-sharded pass.
+func (c *Cache) lookup(key string) (float64, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		perf := el.Value.(*cacheEntry).perf
+		c.m.hits().Inc()
+		c.mu.Unlock()
+		return perf, true
+	}
+	c.mu.Unlock()
+	if perf, ok := c.storeGet(key); ok {
+		c.mu.Lock()
+		c.storeLocked(key, perf)
+		c.m.hits().Inc()
+		c.mu.Unlock()
+		return perf, true
+	}
+	return 0, false
+}
+
+// insert records a successful batch measurement in both tiers.
+func (c *Cache) insert(key string, perf float64) {
+	c.mu.Lock()
+	c.storeLocked(key, perf)
+	c.m.misses().Inc()
+	c.mu.Unlock()
+	c.storePut(key, perf)
 }
 
 // storeLocked inserts key into the LRU, evicting the coldest entry when
@@ -163,7 +220,8 @@ func (c *Cache) storeLocked(key string, perf float64) {
 type CachedRunner struct {
 	inner  ContextRunner
 	cache  *Cache
-	prefix string // identity + topology shape, precomputed
+	prefix string        // identity + topology shape, precomputed
+	bm     *BatchMetrics // batch-path observability; see InstrumentBatch
 }
 
 // NewCachedRunner wraps a legacy Runner. identity names the measured

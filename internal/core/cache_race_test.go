@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optassign/internal/assign"
+	"optassign/internal/obs"
+	"optassign/internal/t2"
+)
+
+// TestCacheMetricsNeverUndercount is the regression test for the metrics
+// race window: hit/miss/coalesced counters used to be bumped after c.mu
+// was released (and the miss counter after the flight was closed), so a
+// concurrent /metrics scrape could observe hits+misses smaller than the
+// number of lookups the cache had already answered. The counters now move
+// in the same critical section as the map state; this hammers the cache
+// from many goroutines while a sampler continuously checks the invariant
+//
+//	hits + misses + coalesced >= completed lookups
+//
+// and a final quiescent check requires hits + misses == lookups exactly
+// (every lookup ends as a hit or a miss; coalesced is a strict extra).
+// Run under -race in CI.
+func TestCacheMetricsNeverUndercount(t *testing.T) {
+	topo := t2.UltraSPARCT2()
+	m := NewCacheMetrics(obs.NewRegistry())
+	cache := NewCache(0, m)
+	// A handful of classes so workers collide constantly, a sliver of
+	// latency so single-flight windows are wide, and occasional transient
+	// errors so the follower-retry path is exercised too.
+	var calls atomic.Int64
+	inner := &countingRunner{
+		delay: 200 * time.Microsecond,
+		perf: func(a assign.Assignment) (float64, error) {
+			if calls.Add(1)%7 == 0 {
+				return 0, errors.New("transient")
+			}
+			return classPerf(a), nil
+		},
+	}
+	r := NewCachedContextRunner(inner, cache, "tb-race")
+
+	var completed atomic.Int64
+	var violations atomic.Int64
+	done := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			// Read the lookup floor FIRST: completed can only grow between
+			// the two loads, so served >= countersAtLeast must still hold.
+			floor := completed.Load()
+			counted := m.Hits.Value() + m.Misses.Value() + m.Coalesced.Value()
+			if counted < float64(floor) {
+				violations.Add(1)
+			}
+		}
+	}()
+
+	const workers, perWorker = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				a := assign.Assignment{Topo: topo, Ctx: []int{rng.Intn(4)}}
+				_, _ = r.MeasureContext(context.Background(), a)
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	samplerWG.Wait()
+
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("scraper observed hits+misses+coalesced < completed lookups %d times", v)
+	}
+	total := float64(workers * perWorker)
+	if got := m.Hits.Value() + m.Misses.Value(); got != total {
+		t.Fatalf("at quiescence hits(%v)+misses(%v) = %v, want exactly %v lookups",
+			m.Hits.Value(), m.Misses.Value(), got, total)
+	}
+}
+
+// TestCacheEvictionGaugeUnderLock: the entry gauge and eviction counter
+// move with the map they describe — after any quiescent point,
+// entries gauge == Len() and evictions == inserts - entries.
+func TestCacheEvictionGaugeUnderLock(t *testing.T) {
+	topo := t2.UltraSPARCT2()
+	m := NewCacheMetrics(obs.NewRegistry())
+	cache := NewCache(8, m) // tiny capacity to force evictions
+	inner := &countingRunner{}
+	r := NewCachedContextRunner(inner, cache, "tb-evict")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				a := assign.Assignment{Topo: topo, Ctx: []int{(w*64 + i) % topo.Contexts()}}
+				if _, err := r.MeasureContext(context.Background(), a); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := m.Size.Value(), float64(cache.Len()); got != want {
+		t.Fatalf("entries gauge %v != Len() %v", got, want)
+	}
+	if inserts := m.Misses.Value(); m.Evictions.Value() != inserts-float64(cache.Len()) {
+		t.Fatalf("evictions %v != inserts %v - resident %d", m.Evictions.Value(), inserts, cache.Len())
+	}
+}

@@ -142,13 +142,21 @@ func (m *PoolMetrics) busy(i int) *obs.Counter {
 // (misses), how many joined an in-flight measurement instead of starting
 // their own (coalesced), plus the entry count, evictions and in-flight
 // leaders.
+// The Disk* series observe the optional persistent L2 tier (see
+// diskcache.go): lookups answered from disk, lookups that fell through to
+// a real measurement, the store's on-disk footprint, and store I/O errors
+// (which degrade the cache, never the campaign).
 type CacheMetrics struct {
-	Hits      *obs.Counter
-	Misses    *obs.Counter
-	Coalesced *obs.Counter
-	Evictions *obs.Counter
-	Size      *obs.Gauge
-	Inflight  *obs.Gauge
+	Hits       *obs.Counter
+	Misses     *obs.Counter
+	Coalesced  *obs.Counter
+	Evictions  *obs.Counter
+	Size       *obs.Gauge
+	Inflight   *obs.Gauge
+	DiskHits   *obs.Counter
+	DiskMisses *obs.Counter
+	DiskBytes  *obs.Gauge
+	DiskErrors *obs.Counter
 }
 
 // NewCacheMetrics registers the measurement-cache series on r; a nil
@@ -158,12 +166,16 @@ func NewCacheMetrics(r *obs.Registry) *CacheMetrics {
 		return nil
 	}
 	return &CacheMetrics{
-		Hits:      r.Counter("optassign_cache_hits_total", "Measurements served from the canonical-form cache."),
-		Misses:    r.Counter("optassign_cache_misses_total", "Measurements that reached the wrapped runner."),
-		Coalesced: r.Counter("optassign_cache_coalesced_total", "Callers that joined an in-flight measurement of the same class."),
-		Evictions: r.Counter("optassign_cache_evictions_total", "Entries evicted by the LRU bound."),
-		Size:      r.Gauge("optassign_cache_entries", "Canonical classes currently memoized."),
-		Inflight:  r.Gauge("optassign_cache_inflight", "Cache-led measurements currently running."),
+		Hits:       r.Counter("optassign_cache_hits_total", "Measurements served from the canonical-form cache."),
+		Misses:     r.Counter("optassign_cache_misses_total", "Measurements that reached the wrapped runner."),
+		Coalesced:  r.Counter("optassign_cache_coalesced_total", "Callers that joined an in-flight measurement of the same class."),
+		Evictions:  r.Counter("optassign_cache_evictions_total", "Entries evicted by the LRU bound."),
+		Size:       r.Gauge("optassign_cache_entries", "Canonical classes currently memoized."),
+		Inflight:   r.Gauge("optassign_cache_inflight", "Cache-led measurements currently running."),
+		DiskHits:   r.Counter("optassign_diskcache_hits_total", "Lookups answered by the persistent store without measuring."),
+		DiskMisses: r.Counter("optassign_diskcache_misses_total", "Lookups the persistent store could not answer."),
+		DiskBytes:  r.Gauge("optassign_diskcache_bytes", "On-disk footprint of the persistent measurement store."),
+		DiskErrors: r.Counter("optassign_diskcache_errors_total", "Persistent-store failures (cache degraded, measurement unaffected)."),
 	}
 }
 
@@ -207,6 +219,68 @@ func (m *CacheMetrics) inflight() *obs.Gauge {
 		return nil
 	}
 	return m.Inflight
+}
+
+func (m *CacheMetrics) diskHits() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.DiskHits
+}
+
+func (m *CacheMetrics) diskMisses() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.DiskMisses
+}
+
+func (m *CacheMetrics) diskBytes() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.DiskBytes
+}
+
+func (m *CacheMetrics) diskErrors() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.DiskErrors
+}
+
+// BatchMetrics observes the batched measurement path: how many draws each
+// core-sharded batch actually measured (after cache hits and in-batch
+// duplicates are peeled off) and how many batches ran.
+type BatchMetrics struct {
+	Batches *obs.Counter
+	Size    *obs.Histogram
+}
+
+// NewBatchMetrics registers the batch-path series on r; a nil registry
+// yields a nil (disabled) bundle.
+func NewBatchMetrics(r *obs.Registry) *BatchMetrics {
+	if r == nil {
+		return nil
+	}
+	return &BatchMetrics{
+		Batches: r.Counter("optassign_batches_total", "Core-sharded measurement batches executed."),
+		Size:    r.Histogram("optassign_batch_size", "Unique cache-missing assignments measured per batch.", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+}
+
+func (m *BatchMetrics) batches() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Batches
+}
+
+func (m *BatchMetrics) batchSize() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.Size
 }
 
 // IterMetrics publishes the live state of the §5.3 iterative algorithm:

@@ -1,0 +1,116 @@
+package cycle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"optassign/internal/proc"
+)
+
+// BatchSim evaluates many placements of ONE task set on ONE machine. It
+// exists because the sampling loop measures thousands of assignments that
+// differ only in placement: the packet programs (the expensive derived
+// state — one op stream per task) are built once here and shared
+// read-only by every placement and every worker, strand and rollup
+// storage is arena-allocated per batch instead of per assignment, and the
+// placements are sharded across GOMAXPROCS workers.
+//
+// Each placement still runs through exactly the same init + RunScratch
+// code path as a standalone Sim, so batch results are bit-identical to
+// per-assignment New+Run — the batch differential test pins this.
+type BatchSim struct {
+	machine *proc.Machine
+	tasks   []proc.Task
+	links   []proc.Link
+	cfg     Config
+	progs   []packetProgram // per task, read-only
+	groups  int
+}
+
+// NewBatchSim validates the placement-independent inputs once and
+// precomputes the per-task packet programs shared by every Run.
+func NewBatchSim(machine *proc.Machine, tasks []proc.Task, links []proc.Link, cfg Config) (*BatchSim, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("cycle: no tasks")
+	}
+	b := &BatchSim{machine: machine, tasks: tasks, links: links, cfg: cfg.withDefaults()}
+	byDemand := make(map[proc.Demand]packetProgram)
+	b.progs = make([]packetProgram, len(tasks))
+	for i, task := range tasks {
+		if task.Group >= b.groups {
+			b.groups = task.Group + 1
+		}
+		prog, ok := byDemand[task.Demand]
+		if !ok {
+			prog = buildProgram(task.Demand)
+			byDemand[task.Demand] = prog
+		}
+		b.progs[i] = prog
+	}
+	return b, nil
+}
+
+// Run simulates every placement for `packets` packets and returns one
+// Result (or one error) per placement, index-aligned with placements.
+// Per-placement failures are reported in errs without failing the batch.
+//
+// Result slices are carved from three arena allocations shared by the
+// whole batch; they stay valid after Run returns and are never reused.
+func (b *BatchSim) Run(placements [][]int, packets int) (results []Result, errs []error) {
+	k := len(placements)
+	if k == 0 {
+		return nil, nil
+	}
+	topo := b.machine.Topo
+	pipes, cores := topo.Pipes(), topo.Cores
+	results = make([]Result, k)
+	errs = make([]error, k)
+	// One allocation per rollup kind for the whole batch.
+	issueArena := make([]int64, k*pipes)
+	lsuArena := make([]int64, k*cores)
+	ppsArena := make([]float64, k*b.groups)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Worker-private reusable machinery: one Sim re-inited per
+			// placement, one Scratch, one duplicate-context table.
+			var sim Sim
+			var sc Scratch
+			seen := make([]bool, topo.Contexts())
+			for i := w; i < k; i += workers {
+				if err := sim.init(b.machine, b.tasks, b.links, placements[i], b.cfg, b.progs, seen); err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := sim.RunScratch(packets, &sc)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				// r's slices alias sc; move them into this placement's arena
+				// segment so the returned Result outlives the next run.
+				out := &results[i]
+				*out = r
+				out.IssueBusy = issueArena[i*pipes : (i+1)*pipes : (i+1)*pipes]
+				out.LSUBusy = lsuArena[i*cores : (i+1)*cores : (i+1)*cores]
+				out.GroupPPS = ppsArena[i*b.groups : (i+1)*b.groups : (i+1)*b.groups]
+				copy(out.IssueBusy, r.IssueBusy)
+				copy(out.LSUBusy, r.LSUBusy)
+				copy(out.GroupPPS, r.GroupPPS)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results, errs
+}

@@ -1,0 +1,178 @@
+package cycle
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"optassign/internal/proc"
+	"optassign/internal/t2"
+)
+
+// randomPlacements draws k distinct-context placements for n tasks.
+func randomPlacements(rng *rand.Rand, topo t2.Topology, n, k int) [][]int {
+	out := make([][]int, k)
+	for i := range out {
+		perm := rng.Perm(topo.Contexts())
+		out[i] = perm[:n]
+	}
+	return out
+}
+
+// TestBatchSimMatchesPerAssignmentRuns is the batch differential gate:
+// for random workloads and placement batches, BatchSim.Run must be
+// bit-identical, placement by placement, to building a standalone Sim per
+// placement — including the per-placement errors when MaxCycles aborts a
+// run. Transitively (via TestRunMatchesReferenceRandomized) this pins the
+// batch path to the reference polling loop too.
+func TestBatchSimMatchesPerAssignmentRuns(t *testing.T) {
+	small := *proc.UltraSPARCT2Machine()
+	small.Topo = t2.Topology{Cores: 2, PipesPerCore: 2, ContextsPerPipe: 2}
+	machines := []*proc.Machine{proc.UltraSPARCT2Machine(), &small}
+	for mi, m := range machines {
+		rng := rand.New(rand.NewSource(int64(97 + mi)))
+		for trial := 0; trial < 12; trial++ {
+			w := randomWorkload(rng, m)
+			placements := randomPlacements(rng, m.Topo, len(w.tasks), 1+rng.Intn(24))
+			bs, err := NewBatchSim(w.machine, w.tasks, w.links, w.cfg)
+			if err != nil {
+				t.Fatalf("NewBatchSim: %v", err)
+			}
+			results, errs := bs.Run(placements, w.packets)
+			for i, placement := range placements {
+				wi := w
+				wi.placement = placement
+				want, werr := wi.newSim(t).Run(w.packets)
+				if fmt.Sprint(errs[i]) != fmt.Sprint(werr) {
+					t.Fatalf("placement %d: error mismatch: batch %v vs solo %v", i, errs[i], werr)
+				}
+				if werr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(results[i], want) {
+					t.Fatalf("placement %d: Result mismatch:\nbatch: %+v\nsolo:  %+v\nworkload: %+v", i, results[i], want, wi)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSimIsolatesBadPlacements: an invalid placement fails alone;
+// its batchmates still get exact results.
+func TestBatchSimIsolatesBadPlacements(t *testing.T) {
+	m := proc.UltraSPARCT2Machine()
+	tasks := mkTriple(heavyP())
+	links := []proc.Link{{A: 0, B: 1, Volume: 1}, {A: 1, B: 2, Volume: 1}}
+	topo := m.Topo
+	good := []int{topo.Context(0, 1, 0), topo.Context(0, 0, 0), topo.Context(0, 1, 1)}
+	dup := []int{0, 0, 1}               // duplicate context
+	oob := []int{0, 1, topo.Contexts()} // out of range
+	bs, err := NewBatchSim(m, tasks, links, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := bs.Run([][]int{good, dup, oob, good}, 50)
+	if errs[1] == nil || errs[2] == nil {
+		t.Fatalf("invalid placements did not error: %v", errs)
+	}
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("valid placements errored: %v", errs)
+	}
+	solo, err := New(m, tasks, links, good, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solo.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 3} {
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("placement %d diverged next to failed batchmates", i)
+		}
+	}
+}
+
+// TestBatchSimEmptyBatch: a zero-placement batch is a no-op, not a panic.
+func TestBatchSimEmptyBatch(t *testing.T) {
+	m := proc.UltraSPARCT2Machine()
+	bs, err := NewBatchSim(m, mkTriple(heavyP()), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results, errs := bs.Run(nil, 10); results != nil || errs != nil {
+		t.Fatalf("empty batch returned %v, %v", results, errs)
+	}
+}
+
+// TestBatchSimAmortizesAllocations pins the arena design: the whole batch
+// must average far fewer allocations per placement than one standalone
+// New+Run (which costs dozens). The bound is loose — worker-count
+// dependent fixed costs divided by the batch size — but fails immediately
+// if someone reintroduces per-placement strand or rollup allocation.
+func TestBatchSimAmortizesAllocations(t *testing.T) {
+	m := proc.UltraSPARCT2Machine()
+	tasks := mkTriple(heavyP())
+	links := []proc.Link{{A: 0, B: 1, Volume: 1}, {A: 1, B: 2, Volume: 1}}
+	topo := m.Topo
+	const k = 64
+	rng := rand.New(rand.NewSource(7))
+	placements := randomPlacements(rng, topo, len(tasks), k)
+	bs, err := NewBatchSim(m, tasks, links, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs.Run(placements, 20) // warm one run so one-time growth is excluded
+	allocs := testing.AllocsPerRun(3, func() {
+		_, errs := bs.Run(placements, 20)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if perPlacement := allocs / k; perPlacement > 5 {
+		t.Fatalf("batch Run averages %.1f allocs per placement (%.0f total for %d), want amortized <= 5",
+			perPlacement, allocs, k)
+	}
+}
+
+// BenchmarkBatchSim compares batched evaluation against per-assignment
+// construction+run over the same placement set.
+func BenchmarkBatchSim(b *testing.B) {
+	m := proc.UltraSPARCT2Machine()
+	tasks := mkTriple(heavyP())
+	links := []proc.Link{{A: 0, B: 1, Volume: 1}, {A: 1, B: 2, Volume: 1}}
+	topo := m.Topo
+	const k = 32
+	rng := rand.New(rand.NewSource(11))
+	placements := randomPlacements(rng, topo, len(tasks), k)
+	b.Run("batched", func(b *testing.B) {
+		bs, err := NewBatchSim(m, tasks, links, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, errs := bs.Run(placements, 100); errs[0] != nil {
+				b.Fatal(errs[0])
+			}
+		}
+	})
+	b.Run("per-assignment", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range placements {
+				s, err := New(m, tasks, links, p, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -191,6 +191,10 @@ type Sim struct {
 	txByGroup []int32
 	// queue occupancy per (group, boundary): boundary 0 = R→P, 1 = P→T.
 	queues [][2]int
+	// stageOf is init's per-group task counter, kept on the Sim so a
+	// reused instance (the batch path re-inits one Sim per placement)
+	// allocates it once.
+	stageOf []int32
 }
 
 // New builds a simulator for tasks placed per placement (context index per
@@ -201,51 +205,96 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 	if err := machine.Validate(); err != nil {
 		return nil, err
 	}
+	s := &Sim{}
+	if err := s.init(machine, tasks, links, placement, cfg, nil, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// init (re)builds s for one placement, reusing every buffer s already
+// holds. progs, when non-nil, is a per-task program slice shared across
+// placements (the batch path computes it once per batch); seen, when
+// non-nil, is a caller-owned duplicate-context scratch of length
+// topo.Contexts(). The machine itself must already be validated by the
+// caller — everything placement-dependent is validated here.
+func (s *Sim) init(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement []int, cfg Config, progs []packetProgram, seen []bool) error {
 	if len(tasks) == 0 {
-		return nil, fmt.Errorf("cycle: no tasks")
+		return fmt.Errorf("cycle: no tasks")
 	}
 	if len(placement) != len(tasks) {
-		return nil, fmt.Errorf("cycle: %d tasks, %d placements", len(tasks), len(placement))
+		return fmt.Errorf("cycle: %d tasks, %d placements", len(tasks), len(placement))
 	}
 	topo := machine.Topo
-	seen := make(map[int]bool)
+	if seen == nil {
+		seen = make([]bool, topo.Contexts())
+	} else {
+		clear(seen)
+	}
+	s.machine = machine
+	s.cfg = cfg.withDefaults()
+	s.strands = s.strands[:0]
 	groups := 0
-	stageOf := make(map[int]int)
-	progs := make(map[proc.Demand]packetProgram) // tasks sharing a demand share a program
-	s := &Sim{machine: machine, cfg: cfg.withDefaults()}
+	var progByDemand map[proc.Demand]packetProgram
+	if progs == nil {
+		progByDemand = make(map[proc.Demand]packetProgram) // tasks sharing a demand share a program
+	}
+	// stageOf counts tasks per group; grown on demand so group numbering
+	// needs no first pass.
+	stageOf := s.stageOf[:0]
 	for i, task := range tasks {
 		ctx := placement[i]
 		if ctx < 0 || ctx >= topo.Contexts() || seen[ctx] {
-			return nil, fmt.Errorf("cycle: invalid or duplicate context %d", ctx)
+			return fmt.Errorf("cycle: invalid or duplicate context %d", ctx)
 		}
 		seen[ctx] = true
+		if task.Group < 0 {
+			return fmt.Errorf("cycle: task %d has negative group %d", i, task.Group)
+		}
 		if task.Group >= groups {
 			groups = task.Group + 1
 		}
-		prog, ok := progs[task.Demand]
-		if !ok {
-			prog = buildProgram(task.Demand)
-			progs[task.Demand] = prog
+		for len(stageOf) < groups {
+			stageOf = append(stageOf, 0)
+		}
+		var prog packetProgram
+		if progs != nil {
+			prog = progs[i]
+		} else {
+			var ok bool
+			prog, ok = progByDemand[task.Demand]
+			if !ok {
+				prog = buildProgram(task.Demand)
+				progByDemand[task.Demand] = prog
+			}
 		}
 		s.strands = append(s.strands, strand{
 			pipe:    int32(topo.PipeOf(ctx)),
 			core:    int32(topo.CoreOf(ctx)),
 			program: prog,
 			group:   int32(task.Group),
-			stage:   int32(stageOf[task.Group]),
+			stage:   stageOf[task.Group],
 		})
 		stageOf[task.Group]++
 	}
+	s.stageOf = stageOf
 	for g, n := range stageOf {
-		if n != 3 {
-			return nil, fmt.Errorf("cycle: group %d has %d tasks, need exactly 3 (R, P, T)", g, n)
+		// Group numbers may be sparse; a group with no tasks at all is
+		// fine (its GroupPPS stays 0), a partial pipeline is not.
+		if n != 0 && n != 3 {
+			return fmt.Errorf("cycle: group %d has %d tasks, need exactly 3 (R, P, T)", g, n)
 		}
 	}
 	s.groups = groups
-	s.queues = make([][2]int, groups)
-	s.txByGroup = make([]int32, groups)
-	for g := range s.txByGroup {
-		s.txByGroup[g] = -1
+	if cap(s.queues) < groups {
+		s.queues = make([][2]int, groups)
+	} else {
+		s.queues = s.queues[:groups]
+		clear(s.queues)
+	}
+	s.txByGroup = s.txByGroup[:0]
+	for g := 0; g < groups; g++ {
+		s.txByGroup = append(s.txByGroup, -1)
 	}
 	for i := range s.strands {
 		if st := &s.strands[i]; st.stage == 2 {
@@ -257,7 +306,7 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 	// P→T), by placement distance.
 	for _, l := range links {
 		if l.A < 0 || l.A >= len(tasks) || l.B < 0 || l.B >= len(tasks) {
-			return nil, fmt.Errorf("cycle: link %v references unknown task", l)
+			return fmt.Errorf("cycle: link %v references unknown task", l)
 		}
 		var lat float64
 		if topo.ShareLevel(placement[l.A], placement[l.B]) == t2.InterCore {
@@ -268,18 +317,30 @@ func New(machine *proc.Machine, tasks []proc.Task, links []proc.Link, placement 
 		s.strands[l.B].commLatency += int32(lat)
 	}
 
-	s.byPipe = make([][]int32, topo.Pipes())
+	if len(s.byPipe) == topo.Pipes() {
+		for p := range s.byPipe {
+			s.byPipe[p] = s.byPipe[p][:0]
+		}
+	} else {
+		s.byPipe = make([][]int32, topo.Pipes())
+	}
 	for i := range s.strands {
 		p := s.strands[i].pipe
 		s.byPipe[p] = append(s.byPipe[p], int32(i))
 	}
+	s.occ = s.occ[:0]
 	for p := range s.byPipe {
 		if len(s.byPipe[p]) > 0 {
 			s.occ = append(s.occ, int32(p))
 		}
 	}
-	s.rrIndex = make([]int, topo.Pipes())
-	return s, nil
+	if cap(s.rrIndex) < topo.Pipes() {
+		s.rrIndex = make([]int, topo.Pipes())
+	} else {
+		s.rrIndex = s.rrIndex[:topo.Pipes()]
+		clear(s.rrIndex)
+	}
+	return nil
 }
 
 // wakeEvent is one parked strand in the wake-time min-heap.
@@ -340,8 +401,41 @@ func wakePop(h *[]wakeEvent) wakeEvent {
 	return top
 }
 
+// Scratch holds every buffer a simulation run needs — the wake-time heap,
+// per-pipe awake counts, the LSU arbitration table and the Result's rollup
+// slices. A zero Scratch is ready to use; reusing one across RunScratch
+// calls (as the batch path and netdps.MeasureCycle do) makes repeat runs
+// allocation-free.
+type Scratch struct {
+	heap      []wakeEvent
+	awake     []int32
+	lsuTaken  []int64
+	issueBusy []int64
+	lsuBusy   []int64
+	groupPPS  []float64
+}
+
+// grow returns buf resized to n with every element zeroed, reusing its
+// backing array when capacity allows.
+func grow[T int64 | int32 | float64](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // Run simulates until every pipeline instance has transmitted `packets`
-// packets and returns throughput measured in simulated time.
+// packets and returns throughput measured in simulated time. The returned
+// Result owns its slices.
+func (s *Sim) Run(packets int) (Result, error) {
+	return s.RunScratch(packets, &Scratch{})
+}
+
+// RunScratch is Run with caller-owned buffers: the returned Result's
+// slices ALIAS sc and are overwritten by the next RunScratch call on the
+// same Scratch. Callers that keep results across runs must copy them.
 //
 // The loop is event-driven but cycle-for-cycle identical to runReference
 // (the original polling loop, kept in reference.go): parked strands sit in
@@ -349,18 +443,22 @@ func wakePop(h *[]wakeEvent) wakeEvent {
 // skipped; a cycle in which no strand issues anywhere freezes queues,
 // programs and round-robin cursors, so the clock jumps straight to the
 // next wake event instead of replaying no-op cycles one by one.
-func (s *Sim) Run(packets int) (Result, error) {
+func (s *Sim) RunScratch(packets int, sc *Scratch) (Result, error) {
 	if packets < 1 {
 		return Result{}, fmt.Errorf("cycle: need at least one packet")
 	}
 	topo := s.machine.Topo
+	sc.issueBusy = grow(sc.issueBusy, topo.Pipes())
+	sc.lsuBusy = grow(sc.lsuBusy, topo.Cores)
+	sc.groupPPS = grow(sc.groupPPS, s.groups)
 	res := Result{
-		IssueBusy: make([]int64, topo.Pipes()),
-		LSUBusy:   make([]int64, topo.Cores),
-		GroupPPS:  make([]float64, s.groups),
+		IssueBusy: sc.issueBusy,
+		LSUBusy:   sc.lsuBusy,
+		GroupPPS:  sc.groupPPS,
 	}
 	target := int64(packets)
-	lsuTaken := make([]int64, topo.Cores) // cycle number when last used
+	sc.lsuTaken = grow(sc.lsuTaken, topo.Cores)
+	lsuTaken := sc.lsuTaken // cycle number when last used
 	var cycle int64
 
 	// O(1) completion tracking: remaining counts groups whose T strand has
@@ -373,8 +471,12 @@ func (s *Sim) Run(packets int) (Result, error) {
 		}
 	}
 
-	heap := make([]wakeEvent, 0, len(s.strands))
-	awake := make([]int32, topo.Pipes()) // strands not long-parked, per pipe
+	if cap(sc.heap) < len(s.strands) {
+		sc.heap = make([]wakeEvent, 0, len(s.strands))
+	}
+	heap := sc.heap[:0]
+	sc.awake = grow(sc.awake, topo.Pipes())
+	awake := sc.awake // strands not long-parked, per pipe
 	for i := range s.strands {
 		st := &s.strands[i]
 		if st.wakeCycle-cycle > shortParkLimit {
@@ -387,6 +489,7 @@ func (s *Sim) Run(packets int) (Result, error) {
 	for remaining > 0 {
 		cycle++
 		if s.cfg.MaxCycles > 0 && cycle > s.cfg.MaxCycles {
+			sc.heap = heap[:0]
 			return Result{}, fmt.Errorf("cycle: exceeded %d cycles", s.cfg.MaxCycles)
 		}
 		for len(heap) > 0 && heap[0].cycle <= cycle {
@@ -478,6 +581,7 @@ func (s *Sim) Run(packets int) (Result, error) {
 				if s.cfg.MaxCycles > 0 && next > s.cfg.MaxCycles+1 {
 					// The polling loop would idle up to MaxCycles+1 and
 					// abort before any strand wakes.
+					sc.heap = heap[:0]
 					return Result{}, fmt.Errorf("cycle: exceeded %d cycles", s.cfg.MaxCycles)
 				}
 				cycle = next - 1
@@ -485,6 +589,7 @@ func (s *Sim) Run(packets int) (Result, error) {
 		}
 	}
 
+	sc.heap = heap[:0] // keep any capacity append growth gave the heap
 	res.Cycles = cycle
 	seconds := float64(cycle) / s.machine.ClockHz
 	for g, ti := range s.txByGroup {

@@ -1,0 +1,93 @@
+package netdps
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"optassign/internal/apps"
+	"optassign/internal/assign"
+)
+
+// drawAssignments samples k random valid assignments for tb.
+func drawAssignments(t *testing.T, tb *Testbed, rng *rand.Rand, k int) []assign.Assignment {
+	t.Helper()
+	as := make([]assign.Assignment, k)
+	for i := range as {
+		a, err := assign.RandomPermutation(rng, tb.Machine.Topo, tb.TaskCount())
+		if err != nil {
+			t.Fatal(err)
+		}
+		as[i] = a
+	}
+	return as
+}
+
+// TestMeasureBatchMatchesSerial: batched analytic measurement must be
+// bit-identical, element by element, to the serial path — including the
+// deterministic noise.
+func TestMeasureBatchMatchesSerial(t *testing.T) {
+	tb := newTB(t, apps.NewIPFwd(apps.IPFwdL1), 4)
+	rng := rand.New(rand.NewSource(5))
+	as := drawAssignments(t, tb, rng, 37)
+	perfs, errs := tb.MeasureBatch(as)
+	for i, a := range as {
+		want, werr := tb.MeasureAnalytic(a)
+		if errs[i] != nil || werr != nil {
+			t.Fatalf("assignment %d: errs %v / %v", i, errs[i], werr)
+		}
+		if math.Float64bits(perfs[i]) != math.Float64bits(want) {
+			t.Fatalf("assignment %d: batch %v != serial %v", i, perfs[i], want)
+		}
+	}
+}
+
+// TestMeasureBatchReportsPerAssignmentErrors: an invalid assignment fails
+// alone, index-aligned, without failing its batchmates.
+func TestMeasureBatchReportsPerAssignmentErrors(t *testing.T) {
+	tb := newTB(t, apps.NewIPFwd(apps.IPFwdL1), 2)
+	rng := rand.New(rand.NewSource(6))
+	as := drawAssignments(t, tb, rng, 3)
+	as[1] = assign.Assignment{Topo: tb.Machine.Topo, Ctx: []int{0}} // wrong task count
+	perfs, errs := tb.MeasureBatch(as)
+	if errs[1] == nil {
+		t.Fatal("invalid assignment did not error")
+	}
+	for _, i := range []int{0, 2} {
+		want, _ := tb.MeasureAnalytic(as[i])
+		if errs[i] != nil || perfs[i] != want {
+			t.Fatalf("assignment %d: %v, %v (want %v, nil)", i, perfs[i], errs[i], want)
+		}
+	}
+}
+
+// TestMeasureCycleBatchMatchesSerial: the batched cycle-simulator path
+// must agree with per-assignment MeasureCycle exactly, Result for Result.
+func TestMeasureCycleBatchMatchesSerial(t *testing.T) {
+	tb := newTB(t, apps.NewIPFwd(apps.IPFwdL1), 3, WithNoise(0))
+	rng := rand.New(rand.NewSource(7))
+	as := drawAssignments(t, tb, rng, 9)
+	as = append(as, assign.Assignment{Topo: tb.Machine.Topo, Ctx: []int{0}}) // one invalid
+	const packets = 60
+	results, errs := tb.MeasureCycleBatch(as, packets)
+	for i, a := range as {
+		want, werr := tb.MeasureCycle(a, packets)
+		if (errs[i] == nil) != (werr == nil) {
+			t.Fatalf("assignment %d: error mismatch: batch %v vs serial %v", i, errs[i], werr)
+		}
+		if werr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("assignment %d: batch %+v != serial %+v", i, results[i], want)
+		}
+	}
+	// The cached BatchSim must give a second batch the same answers.
+	again, errs2 := tb.MeasureCycleBatch(as[:3], packets)
+	for i := range again {
+		if errs2[i] != nil || !reflect.DeepEqual(again[i], results[i]) {
+			t.Fatalf("second batch diverged at %d", i)
+		}
+	}
+}
