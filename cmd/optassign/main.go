@@ -14,6 +14,7 @@
 //	          [-registry :9140] [-min-servers 1]
 //	          [-cache] [-cache-size 4096] [-cache-dir DIR] [-batch 64]
 //	          [-progress] [-metrics-addr :9130]
+//	          [-server http://host:9160 -submit ID | -query EXPR]
 //
 // Search strategy: -strategy picks how assignment draws are generated —
 // uniform (the paper's i.i.d. sampler, the default), stratified (spreads
@@ -68,6 +69,14 @@
 // wall-clock drops. It is mutually exclusive with -workers and with
 // remote measurement (which parallelize with -workers instead).
 //
+// Service mode: -server URL turns the command into a client of a running
+// campaignd instance instead of measuring anything locally. -submit ID
+// posts a campaign built from the usual -benchmark/-loss/-strategy flags
+// and follows its convergence line to a terminal state; -query EXPR runs
+// a predicate query (e.g. 'benchmark=IPFwd-L1,satisfied=true') over the
+// service's promoted result table — answered from the table's indexes,
+// without opening any journal.
+//
 // Observability: -progress keeps a live status line on stderr (sample
 // count, best observed, ÛPB and its CI, the convergence gap, retries and
 // worker utilization); -metrics-addr serves the same state as Prometheus
@@ -78,6 +87,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -86,6 +96,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -96,6 +107,7 @@ import (
 	"optassign/internal/assign"
 	"optassign/internal/campaign"
 	"optassign/internal/cas"
+	"optassign/internal/coord"
 	"optassign/internal/core"
 	"optassign/internal/evt"
 	"optassign/internal/netdps"
@@ -218,7 +230,29 @@ func main() {
 	strategy := flag.String("strategy", "uniform",
 		"search strategy for assignment draws: "+strings.Join(search.Names, ", ")+" (only uniform and stratified keep the tail estimate calibrated)")
 	strategyParams := flag.String("strategy-params", "", "strategy parameters as key=value pairs, comma-separated (e.g. init=200,explore=0.2)")
+	server := flag.String("server", "", "campaignd base URL (e.g. http://host:9160): run as a client of the campaign service instead of measuring locally")
+	submit := flag.String("submit", "", "with -server, submit a campaign under this id built from the -benchmark/-loss/... flags and follow it to completion")
+	query := flag.String("query", "", "with -server, run this predicate query over the service's finished campaigns (e.g. 'benchmark=IPFwd-L1,satisfied=true')")
 	flag.Parse()
+
+	if *server != "" {
+		runClient(*server, *submit, *query, coord.Spec{
+			ID:             *submit,
+			Benchmark:      *benchmark,
+			Instances:      *instances,
+			LossPct:        *loss,
+			Ninit:          *ninit,
+			Ndelta:         *ndelta,
+			MaxSamples:     *maxSamples,
+			Seed:           *seed,
+			Strategy:       *strategy,
+			StrategyParams: *strategyParams,
+		})
+		return
+	}
+	if *submit != "" || *query != "" {
+		log.Fatal("-submit and -query need -server")
+	}
 
 	sparams, err := search.ParseParams(*strategyParams)
 	if err != nil {
@@ -635,4 +669,99 @@ func main() {
 	}
 	fmt.Printf("sample budget exhausted before meeting the %.2f%% requirement\n", *loss)
 	os.Exit(2)
+}
+
+// runClient talks to a campaignd service instead of measuring locally:
+// -submit posts a campaign spec built from the usual flags and follows it
+// to a terminal state, -query runs a predicate query over the service's
+// promoted result table. Exit codes mirror the local campaign: 0 on
+// completed, 2 when the budget ran out unsatisfied or the campaign ended
+// non-completed.
+func runClient(base, submit, query string, spec coord.Spec) {
+	base = strings.TrimRight(base, "/")
+	if submit == "" && query == "" {
+		log.Fatal("-server needs -submit ID or -query EXPR")
+	}
+
+	if submit != "" {
+		var st coord.Status
+		if err := clientCall("POST", base+"/campaigns", spec, &st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted campaign %q to %s (testbed %s)\n", st.ID, base, st.Testbed)
+		last := ""
+		for !st.State.Terminal() && st.State != coord.StateFailed && st.State != coord.StatePaused {
+			time.Sleep(250 * time.Millisecond)
+			if err := clientCall("GET", base+"/campaigns/"+submit, nil, &st); err != nil {
+				log.Fatal(err)
+			}
+			if line := st.Summary(); line != last {
+				fmt.Println(line)
+				last = line
+			}
+		}
+		switch st.State {
+		case coord.StateCompleted:
+			if st.Satisfied {
+				fmt.Printf("requirement met: loss <= %.2f%% with 0.95 confidence\n", spec.LossPct)
+				return
+			}
+			fmt.Println("sample budget exhausted before meeting the requirement")
+		case coord.StateFailed:
+			fmt.Printf("campaign failed: %s\n", st.Err)
+		default:
+			fmt.Printf("campaign ended %s\n", st.State)
+		}
+		os.Exit(2)
+	}
+
+	var res struct {
+		Rows  []coord.QueryResult `json:"rows"`
+		Count int                 `json:"count"`
+	}
+	if err := clientCall("GET", base+"/query?q="+url.QueryEscape(query), nil, &res); err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%v [%v] %v: n=%v best=%v upb=%v gap=%v%% satisfied=%v\n",
+			row["id"], row["status"], row["benchmark"], row["samples"],
+			row["best"], row["upb"], row["gap_pct"], row["satisfied"])
+	}
+	fmt.Printf("%d row(s) match %q\n", res.Count, query)
+}
+
+// clientCall performs one JSON round-trip against campaignd, decoding the
+// service's {"error": ...} body into a plain error on non-2xx statuses.
+func clientCall(method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = strings.NewReader(string(raw))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, url, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

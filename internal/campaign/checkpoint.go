@@ -36,8 +36,12 @@ func EstimatorCheckpointPath(journalPath string) string {
 
 // SaveEstimatorCheckpoint atomically replaces the checkpoint at path
 // with st: the state is written to a temporary file in the same
-// directory, synced, and renamed over the target, so a crash mid-write
-// leaves the previous checkpoint intact.
+// directory, synced, renamed over the target, and the parent directory
+// is synced, so a crash at any instant leaves either the previous or the
+// new checkpoint fully intact. Without the final directory sync the
+// rename itself could be lost on power failure on some filesystems —
+// the file's bytes durable but the name still pointing at the old inode,
+// or at nothing.
 func SaveEstimatorCheckpoint(path string, st evt.StreamState) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -60,7 +64,20 @@ func SaveEstimatorCheckpoint(path string, st evt.StreamState) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("campaign: installing estimator checkpoint: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("campaign: syncing checkpoint directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadEstimatorCheckpoint reads the checkpoint at path. A missing file

@@ -1,17 +1,21 @@
 package campaign
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"math"
 	"os"
 	"sync"
 	"time"
 
 	"optassign/internal/assign"
+	"optassign/internal/cas"
 	"optassign/internal/core"
 	"optassign/internal/obs"
 	"optassign/internal/t2"
@@ -109,16 +113,71 @@ func (j *Journal) Instrument(m *JournalMetrics) {
 	j.mu.Unlock()
 }
 
-// CreateJournal starts a fresh journal at path (truncating any previous
-// one) and writes its header.
-func CreateJournal(path string, h JournalHeader) (*Journal, error) {
+// ErrJournalExists reports a CreateJournal against a path that already
+// holds a journal. Before this error existed, re-running a campaign
+// command without -resume silently truncated the old journal — hours of
+// measurements gone for a forgotten flag. Overwriting now requires the
+// explicit Force option.
+var ErrJournalExists = errors.New("campaign: journal already exists (resume it, or force overwrite)")
+
+// ErrJournalBusy reports that another process (or another open handle in
+// this one) holds the journal's exclusive lock. Two writers appending to
+// one journal would interleave entries and corrupt the sequence, so the
+// second opener is refused instead. The coordinator surfaces this as
+// HTTP 409.
+var ErrJournalBusy = errors.New("campaign: journal is in use by another process")
+
+// CreateOption adjusts CreateJournal's behavior.
+type CreateOption func(*createOptions)
+
+type createOptions struct{ force bool }
+
+// Force lets CreateJournal overwrite an existing journal. Without it a
+// create against an existing path fails with ErrJournalExists. The
+// truncation happens only after the exclusive lock is acquired, so even
+// a forced create cannot destroy a journal another process is appending
+// to — that fails with ErrJournalBusy instead.
+func Force() CreateOption { return func(o *createOptions) { o.force = true } }
+
+// CreateJournal starts a fresh journal at path and writes its header. An
+// existing journal is never silently truncated: the create fails with
+// ErrJournalExists unless the Force option is passed. The journal holds
+// an exclusive flock until Close, so no concurrent process can append to
+// (or force-recreate) the same file.
+func CreateJournal(path string, h JournalHeader, opts ...CreateOption) (*Journal, error) {
+	var o createOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	h.Format = JournalVersion
 	if err := h.Topo.Validate(); err != nil {
 		return nil, fmt.Errorf("campaign: journal header: %w", err)
 	}
-	f, err := os.Create(path)
+	flags := os.O_RDWR | os.O_CREATE | os.O_EXCL
+	if o.force {
+		// No O_TRUNC: the truncation must wait for the lock, or a forced
+		// create could destroy a journal mid-append by a live process.
+		flags = os.O_RDWR | os.O_CREATE
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		return nil, fmt.Errorf("%w: %s", ErrJournalExists, path)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if err := cas.TryLockEx(f); err != nil {
+		f.Close()
+		if errors.Is(err, cas.ErrLocked) {
+			return nil, fmt.Errorf("%w: %s", ErrJournalBusy, path)
+		}
+		return nil, fmt.Errorf("campaign: locking journal %s: %w", path, err)
+	}
+	if o.force {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: truncating journal %s: %w", path, err)
+		}
 	}
 	j := &Journal{f: f, header: h}
 	if err := j.writeLine(h); err != nil {
@@ -129,42 +188,60 @@ func CreateJournal(path string, h JournalHeader) (*Journal, error) {
 	return j, nil
 }
 
-// ResumeJournal reopens an existing journal for appending: it loads and
-// verifies the journaled state against h (topology, task count, seed, and
-// benchmark when both name one), then continues the sequence where the
-// interrupted run stopped. The returned state is what the caller feeds to
-// core.IterConfig.Resume / ResumeDraws.
+// ResumeJournal reopens an existing journal for appending: it takes the
+// journal's exclusive lock (refusing with ErrJournalBusy if another
+// process holds it), loads and verifies the journaled state against h
+// (topology, task count, seed, and benchmark when both name one), then
+// continues the sequence where the interrupted run stopped. The returned
+// state is what the caller feeds to core.IterConfig.Resume / ResumeDraws.
 func ResumeJournal(path string, h JournalHeader) (*Journal, *JournalState, error) {
-	st, err := LoadJournal(path)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := cas.TryLockEx(f); err != nil {
+		f.Close()
+		if errors.Is(err, cas.ErrLocked) {
+			return nil, nil, fmt.Errorf("%w: %s", ErrJournalBusy, path)
+		}
+		return nil, nil, fmt.Errorf("campaign: locking journal %s: %w", path, err)
+	}
+	// Load through the locked descriptor: no other process can append or
+	// truncate between the load and our first append.
+	st, err := loadJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
 	if st.Header.Topo != h.Topo {
+		f.Close()
 		return nil, nil, fmt.Errorf("campaign: journal topology %v does not match testbed %v", st.Header.Topo, h.Topo)
 	}
 	if st.Header.Tasks != h.Tasks {
+		f.Close()
 		return nil, nil, fmt.Errorf("campaign: journal has %d tasks, testbed runs %d", st.Header.Tasks, h.Tasks)
 	}
 	if st.Header.Seed != h.Seed {
+		f.Close()
 		return nil, nil, fmt.Errorf("campaign: journal seed %d does not match campaign seed %d (resume would draw different assignments)", st.Header.Seed, h.Seed)
 	}
 	if st.Header.Benchmark != "" && h.Benchmark != "" && st.Header.Benchmark != h.Benchmark {
+		f.Close()
 		return nil, nil, fmt.Errorf("campaign: journal benchmark %q does not match %q", st.Header.Benchmark, h.Benchmark)
 	}
 	if st.Header.Strategy != h.Strategy {
+		f.Close()
 		return nil, nil, fmt.Errorf("campaign: journal strategy %q does not match campaign strategy %q (resume would draw different assignments)",
 			st.Header.Strategy, h.Strategy)
 	}
 	if st.Truncated {
 		// The crash left a partial final line; cut it off so the next
-		// append starts on a fresh, well-formed line.
-		if err := os.Truncate(path, st.validBytes); err != nil {
+		// append starts on a fresh, well-formed line. O_APPEND writes
+		// land at the new end of file.
+		if err := f.Truncate(st.validBytes); err != nil {
+			f.Close()
 			return nil, nil, err
 		}
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, err
 	}
 	return &Journal{f: f, header: st.Header, seq: st.Draws}, st, nil
 }
@@ -306,57 +383,97 @@ type JournalState struct {
 	validBytes int64
 }
 
+// ErrJournalNoHeader reports a journal file with no complete header line
+// — typically a crash in the instants between creating the file and the
+// header write reaching it. Nothing is lost (no measurement can precede
+// the header); callers like the coordinator recreate such journals.
+var ErrJournalNoHeader = errors.New("campaign: journal has no header")
+
 // LoadJournal reads a journal written by Journal, tolerating a torn final
 // line — the expected crash signature for a process killed mid-append.
 // Corruption anywhere else is an error.
 func LoadJournal(path string) (*JournalState, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	lines := bytes.Split(data, []byte("\n"))
-	// A well-formed file ends with '\n', so the final split element is
-	// empty; anything else is a torn tail.
-	tail := lines[len(lines)-1]
-	torn := len(tail) != 0
-	lines = lines[:len(lines)-1]
+	defer f.Close()
+	return loadJournal(f)
+}
 
-	st := &JournalState{Truncated: torn, validBytes: int64(len(data) - len(tail))}
-	if len(lines) == 0 {
-		return nil, errors.New("campaign: journal has no header")
-	}
-	if err := json.Unmarshal(lines[0], &st.Header); err != nil {
-		return nil, fmt.Errorf("campaign: journal header: %w", err)
-	}
-	if st.Header.Format != JournalVersion {
-		return nil, fmt.Errorf("campaign: unsupported journal format %d", st.Header.Format)
-	}
-	if err := st.Header.Topo.Validate(); err != nil {
-		return nil, fmt.Errorf("campaign: journal header: %w", err)
-	}
-	for i, line := range lines[1:] {
-		if len(bytes.TrimSpace(line)) == 0 {
+// loadJournal stream-parses a journal from r through a fixed-size read
+// buffer: resident memory is proportional to the parsed entries, never to
+// the file size, so a coordinator can scan thousands of journals at
+// startup without O(total-bytes) memory. (The historical loader slurped
+// the whole file with os.ReadFile and held it alongside the parsed
+// state.) Torn-tail handling is unchanged: a final line without its
+// newline is the crash signature, reported via Truncated and excluded
+// from validBytes.
+func loadJournal(r io.Reader) (*JournalState, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	st := &JournalState{}
+	var spill []byte // reassembles lines longer than the read buffer
+	line := 0        // complete lines consumed; the header is line 1
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if errors.Is(err, bufio.ErrBufferFull) {
+			spill = append(spill, chunk...)
 			continue
 		}
-		var e JournalEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("campaign: journal entry %d: %w", i+1, err)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("campaign: reading journal: %w", err)
 		}
-		if e.Seq != st.Draws+1 {
-			return nil, fmt.Errorf("campaign: journal entry %d: sequence %d, want %d", i+1, e.Seq, st.Draws+1)
+		raw := chunk
+		if len(spill) > 0 {
+			spill = append(spill, chunk...)
+			raw = spill
 		}
-		st.Draws = e.Seq
-		a := assign.Assignment{Topo: st.Header.Topo, Ctx: e.Ctx}
-		if err := a.Validate(); err != nil {
-			return nil, fmt.Errorf("campaign: journal entry %d: %w", i+1, err)
+		if err != nil {
+			// EOF: anything unterminated is a torn tail — the process
+			// died mid-append — and the fragment is ignored.
+			st.Truncated = len(raw) > 0
+			break
 		}
-		if e.Error != "" {
-			st.Quarantined++
-			st.Log = append(st.Log, core.ResumeDraw{Assignment: a, Quarantined: true})
-			continue
+		line++
+		st.validBytes += int64(len(raw))
+		content := raw[:len(raw)-1]
+		switch {
+		case line == 1:
+			if err := json.Unmarshal(content, &st.Header); err != nil {
+				return nil, fmt.Errorf("campaign: journal header: %w", err)
+			}
+			if st.Header.Format != JournalVersion {
+				return nil, fmt.Errorf("campaign: unsupported journal format %d", st.Header.Format)
+			}
+			if err := st.Header.Topo.Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: journal header: %w", err)
+			}
+		case len(bytes.TrimSpace(content)) == 0:
+		default:
+			var e JournalEntry
+			if err := json.Unmarshal(content, &e); err != nil {
+				return nil, fmt.Errorf("campaign: journal entry %d: %w", line-1, err)
+			}
+			if e.Seq != st.Draws+1 {
+				return nil, fmt.Errorf("campaign: journal entry %d: sequence %d, want %d", line-1, e.Seq, st.Draws+1)
+			}
+			st.Draws = e.Seq
+			a := assign.Assignment{Topo: st.Header.Topo, Ctx: e.Ctx}
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: journal entry %d: %w", line-1, err)
+			}
+			if e.Error != "" {
+				st.Quarantined++
+				st.Log = append(st.Log, core.ResumeDraw{Assignment: a, Quarantined: true})
+			} else {
+				st.Log = append(st.Log, core.ResumeDraw{Assignment: a, Perf: e.Perf})
+				st.Results = append(st.Results, core.SampleResult{Assignment: a, Perf: e.Perf})
+			}
 		}
-		st.Log = append(st.Log, core.ResumeDraw{Assignment: a, Perf: e.Perf})
-		st.Results = append(st.Results, core.SampleResult{Assignment: a, Perf: e.Perf})
+		spill = spill[:0]
+	}
+	if line == 0 {
+		return nil, ErrJournalNoHeader
 	}
 	return st, nil
 }

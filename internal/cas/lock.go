@@ -1,0 +1,25 @@
+package cas
+
+import "errors"
+
+// ErrLocked reports that a non-blocking lock attempt found the file
+// already exclusively locked — by another process, or by another open
+// descriptor in this one. Callers that need a domain-specific error
+// (e.g. campaign.ErrJournalBusy) wrap this one.
+var ErrLocked = errors.New("cas: file is locked by another holder")
+
+// TryLockEx takes a non-blocking exclusive advisory lock on f. It
+// returns ErrLocked when the lock is held elsewhere, so a caller can
+// refuse to share an append-only file rather than silently interleave
+// writes with a concurrent owner. On platforms without flock the call
+// is a no-op that always succeeds (the same degradation the store's
+// own locking documents in lock_fallback.go).
+//
+// The lock belongs to f's open file description and is released by
+// Unlock or by closing f.
+func TryLockEx(f interface{ Fd() uintptr }) error { return tryFlockEx(f) }
+
+// Unlock releases a lock taken by TryLockEx. Errors are ignored for
+// the same reason funlock's are: the lock dies with the descriptor,
+// and a failed unlock must not mask the operation it guarded.
+func Unlock(f interface{ Fd() uintptr }) { funlock(f) }

@@ -9,4 +9,6 @@ package cas
 // records carry identical values and the index keeps the first.
 func flockEx(f interface{ Fd() uintptr }) error { return nil }
 
+func tryFlockEx(f interface{ Fd() uintptr }) error { return nil }
+
 func funlock(f interface{ Fd() uintptr }) {}

@@ -16,6 +16,22 @@ func flockEx(f interface{ Fd() uintptr }) error {
 	}
 }
 
+// tryFlockEx is the non-blocking flockEx: it returns ErrLocked instead
+// of waiting when another open file description holds the lock.
+func tryFlockEx(f interface{ Fd() uintptr }) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		switch err {
+		case syscall.EINTR:
+			continue
+		case syscall.EWOULDBLOCK:
+			return ErrLocked
+		default:
+			return err
+		}
+	}
+}
+
 // funlock releases the advisory lock. Errors are ignored — the lock dies
 // with the descriptor anyway, and a failed unlock must not mask the
 // operation it was guarding.

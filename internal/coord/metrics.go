@@ -1,0 +1,75 @@
+package coord
+
+import "optassign/internal/obs"
+
+// Metrics is the coordinator's observability bundle. A nil *Metrics is
+// fully inert, so the unobserved coordinator pays nothing.
+type Metrics struct {
+	Submitted *obs.Counter
+	Started   *obs.Counter
+	Promoted  *obs.Counter
+	Failed    *obs.Counter
+	TableRows *obs.Gauge
+	states    map[State]*obs.Gauge
+}
+
+// NewMetrics registers the coordinator's metrics. A nil registry yields
+// nil, which every call site tolerates.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		Submitted: r.Counter("campaignd_submitted_total", "campaigns submitted"),
+		Started:   r.Counter("campaignd_runs_total", "campaign run attempts started"),
+		Promoted:  r.Counter("campaignd_promotions_total", "terminal rows promoted into the table"),
+		Failed:    r.Counter("campaignd_failures_total", "campaign runs that ended in failure"),
+		TableRows: r.Gauge("campaignd_table_rows", "rows in the promoted-campaigns table"),
+		states:    make(map[State]*obs.Gauge),
+	}
+	for _, s := range []State{StateQueued, StateRunning, StatePaused, StateCompleted, StateCancelled, StateFailed} {
+		m.states[s] = r.Gauge("campaignd_campaigns", "campaigns by lifecycle state", obs.L("state", string(s)))
+	}
+	return m
+}
+
+func (m *Metrics) submitted() {
+	if m != nil {
+		m.Submitted.Inc()
+	}
+}
+
+func (m *Metrics) started() {
+	if m != nil {
+		m.Started.Inc()
+	}
+}
+
+func (m *Metrics) promoted() {
+	if m != nil {
+		m.Promoted.Inc()
+	}
+}
+
+func (m *Metrics) failed() {
+	if m != nil {
+		m.Failed.Inc()
+	}
+}
+
+// updateGaugesLocked refreshes the per-state gauges from the campaign
+// map. Caller holds c.mu.
+func (c *Coordinator) updateGaugesLocked() {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	counts := make(map[State]int, len(m.states))
+	for _, cs := range c.campaigns {
+		counts[cs.state]++
+	}
+	for s, g := range m.states {
+		g.Set(float64(counts[s]))
+	}
+	m.TableRows.Set(float64(c.table.Len()))
+}

@@ -1,0 +1,266 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a predicate operator.
+type Op uint8
+
+const (
+	OpEq  Op = iota // =
+	OpNe            // !=
+	OpLt            // <
+	OpLe            // <=
+	OpGt            // >
+	OpGe            // >=
+	OpHas           // ~  (substring, string columns only)
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">=", "~"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond is one typed condition: column OP literal.
+type Cond struct {
+	Col string
+	Op  Op
+	// Val is the literal, normalized to the column's storage type.
+	Val any
+
+	col int  // column position
+	typ Type // column type
+}
+
+// Filter is a conjunction of conditions; the zero Filter matches
+// everything.
+type Filter struct {
+	Conds []Cond
+}
+
+// ErrBadFilter wraps every filter-parse failure so HTTP handlers can map
+// the whole family to a 400.
+var ErrBadFilter = errors.New("table: bad filter")
+
+// ParseFilter parses a comma-separated conjunction of conditions against
+// a schema, e.g.
+//
+//	benchmark=IPFwd-L1,gap_pct<2,testbed~local,satisfied=true
+//
+// Operators: = != < <= > >= and ~ (substring, string columns only).
+// Literals are typed by the column: int and float columns parse numbers,
+// bool columns parse true/false, string columns take the literal text
+// verbatim (commas cannot appear in a literal). An empty expression is
+// the match-everything filter.
+func ParseFilter(expr string, s Schema) (Filter, error) {
+	var f Filter
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return f, nil
+	}
+	for _, term := range strings.Split(expr, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		c, err := parseCond(term, s)
+		if err != nil {
+			return Filter{}, err
+		}
+		f.Conds = append(f.Conds, c)
+	}
+	return f, nil
+}
+
+// parseCond splits one term at its operator. Two-character operators are
+// tried first so "<=" does not parse as "<" with a stray "=" in the
+// literal.
+func parseCond(term string, s Schema) (Cond, error) {
+	type opTok struct {
+		tok string
+		op  Op
+	}
+	// Order matters: longest tokens first.
+	for _, t := range []opTok{
+		{"<=", OpLe}, {">=", OpGe}, {"!=", OpNe},
+		{"=", OpEq}, {"<", OpLt}, {">", OpGt}, {"~", OpHas},
+	} {
+		i := strings.Index(term, t.tok)
+		if i <= 0 {
+			continue
+		}
+		name := strings.TrimSpace(term[:i])
+		lit := strings.TrimSpace(term[i+len(t.tok):])
+		return typeCond(name, t.op, lit, s)
+	}
+	return Cond{}, fmt.Errorf("%w: %q has no operator (= != < <= > >= ~)", ErrBadFilter, term)
+}
+
+// typeCond validates the column and coerces the literal to its type.
+func typeCond(name string, op Op, lit string, s Schema) (Cond, error) {
+	pos, col, ok := s.Col(name)
+	if !ok {
+		var names []string
+		for _, c := range s.Columns {
+			names = append(names, c.Name)
+		}
+		return Cond{}, fmt.Errorf("%w: no column %q (have %s)", ErrBadFilter, name, strings.Join(names, ", "))
+	}
+	c := Cond{Col: name, Op: op, col: pos, typ: col.Type}
+	switch col.Type {
+	case String:
+		c.Val = lit
+	case Int:
+		v, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return Cond{}, fmt.Errorf("%w: column %q wants an integer, got %q", ErrBadFilter, name, lit)
+		}
+		c.Val = v
+	case Float:
+		v, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return Cond{}, fmt.Errorf("%w: column %q wants a number, got %q", ErrBadFilter, name, lit)
+		}
+		c.Val = v
+	case Bool:
+		v, err := strconv.ParseBool(lit)
+		if err != nil {
+			return Cond{}, fmt.Errorf("%w: column %q wants true/false, got %q", ErrBadFilter, name, lit)
+		}
+		c.Val = v
+		if op != OpEq && op != OpNe {
+			return Cond{}, fmt.Errorf("%w: column %q (bool) supports only = and !=", ErrBadFilter, name)
+		}
+	}
+	if op == OpHas && col.Type != String {
+		return Cond{}, fmt.Errorf("%w: ~ needs a string column, %q is %s", ErrBadFilter, name, col.Type)
+	}
+	return c, nil
+}
+
+// match evaluates one condition against a row.
+func (c Cond) match(r Row) bool {
+	switch c.typ {
+	case String:
+		a, b := r[c.col].(string), c.Val.(string)
+		switch c.Op {
+		case OpHas:
+			return strings.Contains(a, b)
+		default:
+			return cmpOrd(strings.Compare(a, b), c.Op)
+		}
+	case Int:
+		a, b := r[c.col].(int64), c.Val.(int64)
+		switch {
+		case a < b:
+			return cmpOrd(-1, c.Op)
+		case a > b:
+			return cmpOrd(1, c.Op)
+		default:
+			return cmpOrd(0, c.Op)
+		}
+	case Float:
+		a, b := r[c.col].(float64), c.Val.(float64)
+		switch {
+		case a < b:
+			return cmpOrd(-1, c.Op)
+		case a > b:
+			return cmpOrd(1, c.Op)
+		default:
+			return cmpOrd(0, c.Op)
+		}
+	case Bool:
+		a, b := r[c.col].(bool), c.Val.(bool)
+		if c.Op == OpNe {
+			return a != b
+		}
+		return a == b
+	}
+	return false
+}
+
+// cmpOrd maps a three-way comparison to an ordering operator.
+func cmpOrd(cmp int, op Op) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Match evaluates the full conjunction against a row.
+func (f Filter) Match(r Row) bool {
+	for _, c := range f.Conds {
+		if !c.match(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the ids of committed rows matching f, in commit order.
+// When a condition is an equality on an indexed column, the candidate
+// set comes from that column's hash index instead of a full scan — the
+// "answer from the index" path that keeps queries over thousands of
+// campaigns cheap.
+func (t *Table) Select(f Filter) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Pick the most selective indexed equality condition as the driver.
+	driver := -1
+	best := -1
+	for i, c := range f.Conds {
+		if c.Op != OpEq {
+			continue
+		}
+		m := t.index[c.Col]
+		if m == nil {
+			continue
+		}
+		n := len(m[encodeKey(c.Val)])
+		if best == -1 || n < best {
+			best, driver = n, i
+		}
+	}
+
+	var out []int
+	if driver >= 0 {
+		c := f.Conds[driver]
+		for _, id := range t.index[c.Col][encodeKey(c.Val)] {
+			if f.Match(t.rows[id]) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for id, r := range t.rows {
+		if f.Match(r) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Count returns how many committed rows match f.
+func (t *Table) Count(f Filter) int {
+	return len(t.Select(f))
+}
